@@ -1,0 +1,132 @@
+"""E10 — root-cause ablations for the Section 3.1 error sources and the
+Section 5/6 design discussion.
+
+Each bench sweeps one parameter of the substrate while holding the rest
+fixed, regenerating the causal stories behind the tables:
+
+* PMI skid drives the classic method's error (skid/shadow),
+* round-vs-prime periods drive synchronization error,
+* LBR depth drives the LBR method's averaging power,
+* the PEBS arming window is exactly what PDIR removes,
+* mispredict bubbles create parking spots for imprecise samples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ablation import sweep_period, sweep_uarch_parameter
+from repro.cpu.uarch import IVY_BRIDGE
+from repro.pmu.periods import next_prime
+
+from benchmarks.conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def g4box_trace(harness):
+    return harness.trace("g4box")
+
+
+@pytest.fixture(scope="module")
+def callchain_trace(harness):
+    return harness.trace("callchain")
+
+
+@pytest.fixture(scope="module")
+def latency_trace(harness):
+    return harness.trace("latency_biased")
+
+
+def test_skid_sweep(benchmark, g4box_trace, results_dir):
+    sweep = benchmark.pedantic(
+        lambda: sweep_uarch_parameter(
+            g4box_trace, IVY_BRIDGE, "pmi_skid_cycles",
+            values=(0, 4, 8, 16, 32, 64), method="classic", base_period=400,
+        ),
+        rounds=1, iterations=1,
+    )
+    write_result(results_dir, "ablation_skid.txt", sweep.render())
+    errors = sweep.errors()
+    # More skid cannot make the classic method better on branchy code.
+    assert errors[-1] > errors[0]
+
+
+def test_period_resonance_sweep(benchmark, callchain_trace, results_dir):
+    # Periods resonant with the 200-instruction iteration vs. primes.
+    resonant = (200, 400, 1000, 2000)
+    primes = tuple(next_prime(p) for p in resonant)
+    sweep = benchmark.pedantic(
+        lambda: sweep_period(
+            callchain_trace, IVY_BRIDGE, resonant + primes, method="precise"
+        ),
+        rounds=1, iterations=1,
+    )
+    write_result(results_dir, "ablation_period.txt", sweep.render())
+    errors = sweep.errors()
+    n = len(resonant)
+    worst_prime = max(errors[n:])
+    best_resonant = min(errors[:n])
+    # Every resonant round period is worse than every prime neighbour.
+    assert best_resonant > worst_prime
+
+
+def test_lbr_depth_sweep(benchmark, g4box_trace, results_dir):
+    sweep = benchmark.pedantic(
+        lambda: sweep_uarch_parameter(
+            g4box_trace, IVY_BRIDGE, "lbr_depth",
+            values=(2, 4, 8, 16, 32), method="lbr", base_period=400,
+        ),
+        rounds=1, iterations=1,
+    )
+    write_result(results_dir, "ablation_lbr_depth.txt", sweep.render())
+    errors = sweep.errors()
+    # Deeper stacks average over more blocks: depth 16 beats depth 2, and
+    # a hypothetical depth-32 LBR (Section 6.2 hardware discussion) does
+    # not get worse.
+    assert errors[3] < errors[0]
+    assert errors[4] < errors[0]
+
+
+def test_pebs_arming_sweep(benchmark, latency_trace, results_dir):
+    sweep = benchmark.pedantic(
+        lambda: sweep_uarch_parameter(
+            latency_trace, IVY_BRIDGE, "pebs_arming_cycles",
+            values=(0, 1, 2, 4, 8), method="precise_prime",
+            base_period=400,
+        ),
+        rounds=1, iterations=1,
+    )
+    write_result(results_dir, "ablation_pebs_arming.txt", sweep.render())
+    errors = sweep.errors()
+    # The arming window is the PEBS shadow: widening it hurts the
+    # Latency-Biased kernel, which is what PDIR eliminates.
+    assert errors[-1] > errors[0]
+
+
+def test_mispredict_penalty_sweep(benchmark, g4box_trace, results_dir):
+    sweep = benchmark.pedantic(
+        lambda: sweep_uarch_parameter(
+            g4box_trace, IVY_BRIDGE, "mispredict_penalty_cycles",
+            values=(0, 7, 14, 28), method="classic", base_period=400,
+        ),
+        rounds=1, iterations=1,
+    )
+    write_result(results_dir, "ablation_mispredict.txt", sweep.render())
+    errors = sweep.errors()
+    # Mispredict bubbles are parking spots for imprecise samples: the
+    # classic method degrades as the penalty grows.
+    assert errors[-1] > errors[0]
+
+
+def test_jitter_sweep(benchmark, callchain_trace, results_dir):
+    sweep = benchmark.pedantic(
+        lambda: sweep_uarch_parameter(
+            callchain_trace, IVY_BRIDGE, "pmi_jitter_cycles",
+            values=(0, 2, 6, 12, 24), method="classic", base_period=400,
+        ),
+        rounds=1, iterations=1,
+    )
+    write_result(results_dir, "ablation_jitter.txt", sweep.render())
+    # Jitter only reshuffles delivery within a few cycles; the classic
+    # method stays badly synchronized regardless.
+    assert min(sweep.errors()) > 0.5

@@ -1,0 +1,54 @@
+"""E4-E9 — the paper's in-prose quantitative claims, checked one by one.
+
+The measured factors are written to ``benchmarks/results/claims.txt``; the
+EXPERIMENTS.md paper-vs-measured index is built from this output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compare import (
+    claim_app_lbr_factors,
+    claim_fullcms_fix_and_lbr,
+    claim_fullcms_top10,
+    claim_lbr_kernel_improvement,
+    claim_mcf_lbr,
+    claim_pdir_latency_biased,
+    claim_randomization_kernels_vs_apps,
+)
+
+_CLAIMS = {
+    "E4_lbr_kernels": claim_lbr_kernel_improvement,
+    "E5_pdir_latency_biased": claim_pdir_latency_biased,
+    "E6_randomization": claim_randomization_kernels_vs_apps,
+    "E7_app_lbr": claim_app_lbr_factors,
+    "E7b_mcf_lbr": claim_mcf_lbr,
+    "E8_fullcms_fix": claim_fullcms_fix_and_lbr,
+    "E9_fullcms_top10": claim_fullcms_top10,
+}
+
+_RESULTS: dict[str, str] = {}
+
+
+@pytest.mark.parametrize("name", sorted(_CLAIMS))
+def test_claim(benchmark, harness, name):
+    check = _CLAIMS[name]
+    result = benchmark.pedantic(lambda: check(harness), rounds=1,
+                                iterations=1)
+    _RESULTS[name] = str(result)
+    assert result.holds, result
+
+
+def test_write_claim_report(benchmark, harness, results_dir):
+    # Runs after the parametrized checks (file order), collecting their
+    # measured strings into one report.
+    from benchmarks.conftest import write_result
+
+    def write():
+        lines = [_RESULTS[name] for name in sorted(_RESULTS)]
+        write_result(results_dir, "claims.txt", "\n".join(lines))
+        return len(lines)
+
+    count = benchmark.pedantic(write, rounds=1, iterations=1)
+    assert count == len(_CLAIMS)

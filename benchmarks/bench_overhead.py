@@ -1,0 +1,47 @@
+"""E11 — collection and post-processing cost per method.
+
+Table 3 lists "overhead (in collection and post-processing)" as the LBR
+method's drawback; this bench measures our pipeline's analogue: the wall
+time of sample collection plus attribution, per method, on the same
+execution. Absolute times are simulator times, but the *relative* ordering
+(LBR post-processing > plain attribution) mirrors the paper's point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.runner import run_method
+from repro.pmu.sampler import Sampler
+from repro.core.methods import resolve_method
+
+
+@pytest.fixture(scope="module")
+def execution(harness):
+    return harness.execution("ivybridge", "callchain")
+
+
+@pytest.mark.parametrize(
+    "method", ("classic", "precise", "precise_prime_rand", "pdir_fix", "lbr")
+)
+def test_method_pipeline_cost(benchmark, execution, method):
+    rng_seed = 0
+
+    def run():
+        return run_method(execution, method, 400, rng=rng_seed)
+
+    profile, batch = benchmark(run)
+    assert profile.total_estimate > 0
+    assert batch.num_samples > 0
+
+
+def test_collection_only_cost(benchmark, execution):
+    resolved = resolve_method("lbr", execution.uarch, 400)
+    sampler = Sampler(execution)
+
+    def collect():
+        return sampler.collect(resolved.config, np.random.default_rng(0))
+
+    batch = benchmark(collect)
+    assert batch.lbr_ranges is not None

@@ -1,0 +1,76 @@
+"""Substrate throughput benchmarks: interpreter, trace expansion,
+retirement timing, reference instrumentation, and the prediction model.
+
+These are regressions guards for the simulation infrastructure itself — a
+slow substrate makes full-scale table regeneration impractical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.interpreter import run_program
+from repro.cpu.prediction import BranchPredictor
+from repro.cpu.retirement import retirement_cycles
+from repro.cpu.trace import Trace
+from repro.cpu.uarch import IVY_BRIDGE
+from repro.instrumentation import collect_reference
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def program():
+    return get_workload("test40").build(scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def block_seq(program):
+    return run_program(program).block_seq
+
+
+def test_interpreter_throughput(benchmark, program):
+    result = benchmark(lambda: run_program(program))
+    assert result.blocks_executed > 1000
+
+
+def test_trace_expansion(benchmark, program, block_seq):
+    def expand():
+        trace = Trace(program, block_seq)
+        # Touch the expensive cached properties.
+        trace.addresses
+        trace.taken_positions
+        trace.cumulative_uops
+        return trace
+
+    trace = benchmark(expand)
+    assert trace.num_instructions > 10_000
+
+
+def test_retirement_timing(benchmark, program, block_seq):
+    trace = Trace(program, block_seq)
+    lat = trace.latency_classes
+
+    cycles = benchmark(lambda: retirement_cycles(lat, IVY_BRIDGE))
+    assert cycles[-1] > 0
+
+
+def test_reference_instrumentation(benchmark, program, block_seq):
+    trace = Trace(program, block_seq)
+    ref = benchmark(lambda: collect_reference(trace))
+    assert ref.net_instruction_count == trace.num_instructions
+
+
+def test_branch_prediction(benchmark, program, block_seq):
+    def predict():
+        trace = Trace(program, block_seq)
+        predictor = BranchPredictor(trace)
+        return predictor.mispredict_count
+
+    count = benchmark(predict)
+    assert count > 0
+
+
+def test_program_build_and_layout(benchmark):
+    workload = get_workload("g4box")
+    program = benchmark(lambda: workload.build(scale=0.05))
+    assert program.num_blocks > 10

@@ -1,0 +1,52 @@
+"""E1 — regenerate Table 1: sampling-method errors on the four kernels.
+
+One bench per kernel row-group; the assembled table is written to
+``benchmarks/results/table1.txt``. Assertions check the paper's headline
+orderings for that kernel (lower error is better throughout).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tables import build_table1
+from repro.workloads.registry import KERNEL_NAMES
+
+from benchmarks.conftest import write_result
+
+_TABLES = {}
+
+
+@pytest.mark.parametrize("kernel", KERNEL_NAMES)
+def test_table1_kernel_row(benchmark, harness, kernel):
+    table = benchmark.pedantic(
+        lambda: build_table1(harness, workloads=(kernel,)),
+        rounds=1, iterations=1,
+    )
+    _TABLES[kernel] = table
+
+    # The LBR method must beat the classic method on every Intel machine.
+    for machine in ("westmere", "ivybridge"):
+        classic = table.get(machine, kernel, "classic")
+        lbr = table.get(machine, kernel, "lbr")
+        assert classic is not None and lbr is not None
+        assert lbr.mean_error < classic.mean_error, (machine, kernel)
+
+    # Paper blanks: no LBR or PDIR on Magny-Cours, no PDIR on Westmere.
+    assert table.get("magnycours", kernel, "lbr") is None
+    assert table.get("magnycours", kernel, "pdir_fix") is None
+    assert table.get("westmere", kernel, "pdir_fix") is None
+
+
+def test_table1_assembled(harness, results_dir, benchmark):
+    def assemble():
+        return build_table1(harness)
+
+    table = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    write_result(results_dir, "table1.txt",
+                 table.render() + "\n\n" + table.to_markdown())
+
+    # PDIR especially improves the Latency-Biased kernel (Section 5.1).
+    pebs = table.get("ivybridge", "latency_biased", "precise_prime_rand")
+    pdir = table.get("ivybridge", "latency_biased", "pdir_fix")
+    assert pdir.mean_error < pebs.mean_error

@@ -1,0 +1,51 @@
+"""E3 — Table 3 is descriptive: render the method catalogue and verify the
+per-machine resolution matrix matches the paper's configuration section.
+"""
+
+from __future__ import annotations
+
+from repro.core.methods import METHOD_KEYS, method_available, resolve_method
+from repro.core.tables import render_table3
+from repro.cpu.uarch import ALL_UARCHES
+
+from benchmarks.conftest import write_result
+
+
+def test_render_table3(benchmark, results_dir):
+    text = benchmark(render_table3)
+    write_result(results_dir, "table3.txt", text)
+    assert "2,000,003" in text
+
+
+def test_method_resolution_matrix(benchmark, results_dir):
+    def build_matrix() -> str:
+        lines = ["Method availability (x = implementable):", ""]
+        header = "method".ljust(22) + "".join(
+            u.name.rjust(14) for u in ALL_UARCHES
+        )
+        lines.append(header)
+        for key in METHOD_KEYS:
+            row = key.ljust(22)
+            for uarch in ALL_UARCHES:
+                row += ("x" if method_available(key, uarch) else "-").rjust(14)
+            lines.append(row)
+        return "\n".join(lines)
+
+    matrix = benchmark(build_matrix)
+    write_result(results_dir, "method_matrix.txt", matrix)
+
+
+def test_resolution_cost(benchmark):
+    """Resolving the full ladder across machines is cheap (tool startup)."""
+
+    def resolve_all():
+        count = 0
+        for uarch in ALL_UARCHES:
+            for key in METHOD_KEYS:
+                if method_available(key, uarch):
+                    resolve_method(key, uarch, 2000)
+                    count += 1
+        return count
+
+    count = benchmark(resolve_all)
+    assert count >= 12

@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures.
+
+The bench suite regenerates every table and claim of the paper at a reduced
+scale (override with ``REPRO_BENCH_SCALE``) and writes the rendered outputs
+to ``benchmarks/results/`` so a plain ``pytest benchmarks/ --benchmark-only``
+run leaves the reproduced tables on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, Harness
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+def bench_repeats() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+
+
+@pytest.fixture(scope="session")
+def harness() -> Harness:
+    """One shared harness so traces are interpreted once per session."""
+    return Harness(ExperimentConfig(scale=bench_scale(),
+                                    repeats=bench_repeats()))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist one rendered artifact."""
+    (results_dir / name).write_text(text + "\n")

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Bring your own workload: build a program, then measure how well each
+sampling method profiles it.
+
+This example writes a small "interpreter loop" workload directly against
+the ISA builder — a bytecode dispatch loop with handlers of wildly varying
+cost, a classically hard case for sampling — and runs the method ladder
+over it.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro import IVY_BRIDGE, Machine, ProgramBuilder, evaluate_method
+from repro.core.methods import METHOD_KEYS, method_available
+
+NUM_OPCODES = 8
+ITERATIONS = 40_000
+
+
+def build_bytecode_interpreter() -> "Program":
+    """A dispatch loop over 8 handlers: some trivial, one with a divide,
+    one memory-bound — the cost spread that biases naive sampling."""
+    rng = np.random.default_rng(2015)
+    bytecode = rng.integers(0, NUM_OPCODES, size=4096, dtype=np.int64)
+
+    b = ProgramBuilder("bytecode_vm", data=bytecode)
+    f = b.function("main")
+    f.block("entry")
+    f.li(0, ITERATIONS)   # r0: remaining steps
+    f.li(1, 0)            # r1: program counter
+    f.li(4, NUM_OPCODES - 1)
+
+    f.block("fetch")
+    f.load(2, 1)                      # r2 <- bytecode[pc]
+    f.and_(3, 2, 4)                   # r3 <- opcode
+    f.icall(3, [f"op{i}" for i in range(NUM_OPCODES)])
+
+    f.block("advance")
+    f.addi(1, 1, 1)
+    f.subi(0, 0, 1)
+    f.bnei(0, 0, "fetch")
+
+    f.block("exit")
+    f.halt()
+
+    for i in range(NUM_OPCODES):
+        h = b.function(f"op{i}")
+        h.block("body")
+        if i == 0:                    # push-constant: trivial
+            h.addi(10, 10, 1)
+        elif i == 1:                  # arithmetic: a few ALU ops
+            h.alu_burst(4)
+        elif i == 2:                  # divide: long latency
+            h.li(11, 97)
+            h.div(10, 10, 11)
+        elif i == 3:                  # field load: memory-bound
+            h.loadm(12, 1, 17)
+            h.addi(10, 12, 0)
+        else:                         # medium handlers
+            h.alu_burst(2 + i)
+            h.fadd()
+        h.ret()
+
+    return b.build()
+
+
+def main() -> None:
+    program = build_bytecode_interpreter()
+    execution = Machine(IVY_BRIDGE).execute(program)
+    print(f"Bytecode VM: {execution.num_instructions:,} instructions, "
+          f"IPC {execution.ipc:.2f}, "
+          f"{execution.trace.instructions_per_taken_branch():.1f} "
+          "instructions per taken branch (enterprise-grade fragmentation)\n")
+
+    print(f"{'method':22s} {'accuracy error':>16s}")
+    print("-" * 40)
+    for key in METHOD_KEYS:
+        if not method_available(key, IVY_BRIDGE):
+            continue
+        stats = evaluate_method(execution, key, base_period=400,
+                                seeds=range(5))
+        print(f"{key:22s} {stats.mean_error:8.4f} ± {stats.std_error:.4f}")
+
+    print(
+        "\nThe divide and DRAM-load handlers soak up imprecise samples "
+        "(shadow effect);\nonly the precisely distributed event and LBR "
+        "accounting profile this VM honestly."
+    )
+
+
+if __name__ == "__main__":
+    main()

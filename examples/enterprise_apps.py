@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Enterprise application study: regenerate a Table 2 style comparison.
+
+Profiles the SPEC2006-proxy applications and the FullCMS proxy across all
+three machines with the classic, precise, and LBR methods — the comparison
+behind the paper's Section 5.2 observations — and prints the improvement
+factors alongside.
+
+Usage::
+
+    python examples/enterprise_apps.py [scale]
+"""
+
+import sys
+
+from repro.core.experiment import ExperimentConfig, Harness
+from repro.core.stats import improvement_factor
+from repro.core.tables import build_table2
+from repro.workloads.registry import APP_NAMES
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    harness = Harness(ExperimentConfig(scale=scale, repeats=3))
+
+    print(f"Regenerating Table 2 at scale {scale} "
+          "(this interprets five applications; ~a minute) ...\n")
+    table = build_table2(
+        harness, methods=("classic", "precise", "precise_rand", "lbr")
+    )
+    print(table.render())
+
+    print("\nLBR improvement factors (Ivy Bridge):")
+    print(f"{'app':12s} {'vs classic':>12s} {'vs precise':>12s}")
+    for app in APP_NAMES:
+        classic = table.get("ivybridge", app, "classic")
+        precise = table.get("ivybridge", app, "precise")
+        lbr = table.get("ivybridge", app, "lbr")
+        vs_classic = improvement_factor(classic.mean_error, lbr.mean_error)
+        vs_precise = improvement_factor(precise.mean_error, lbr.mean_error)
+        print(f"{app:12s} {vs_classic:11.1f}x {vs_precise:11.1f}x")
+
+    print(
+        "\nNote the paper's FullCMS caveat: its callchain-like structure "
+        "means pure LBR\naccounting gains little over a precise event, "
+        "unlike mcf where LBR wins clearly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Hardware designer's view: sweep PMU design parameters.
+
+Section 6.2 of the paper makes recommendations to PMU hardware designers
+(implement the IP+1 fix in hardware, add a precise instruction event to
+IBS). This example uses the ablation API to quantify how each hardware
+knob moves profiling accuracy: PMI skid, the PEBS arming shadow, and LBR
+depth.
+
+Usage::
+
+    python examples/hardware_ablation.py
+"""
+
+from repro import IVY_BRIDGE, Machine, get_workload
+from repro.core.ablation import sweep_uarch_parameter
+
+
+def main() -> None:
+    workload = get_workload("test40")
+    program = workload.build(scale=0.3)
+    trace = Machine(IVY_BRIDGE).execute(program).trace
+    print(f"Workload: {workload.name} "
+          f"({trace.num_instructions:,} instructions)\n")
+
+    print("1) PMI skid vs. classic-method error "
+          "(why skid matters for the default setup):")
+    sweep = sweep_uarch_parameter(
+        trace, IVY_BRIDGE, "pmi_skid_cycles", (0, 4, 8, 16, 32, 64),
+        method="classic", base_period=400, seeds=range(3),
+    )
+    print(sweep.render())
+
+    print("\n2) PEBS arming window vs. precise-event error "
+          "(the shadow PDIR was built to remove):")
+    sweep = sweep_uarch_parameter(
+        trace, IVY_BRIDGE, "pebs_arming_cycles", (0, 1, 2, 4, 8),
+        method="precise_prime", base_period=400, seeds=range(3),
+    )
+    print(sweep.render())
+
+    print("\n3) LBR depth vs. LBR-method error "
+          "(how much a deeper stack would buy):")
+    sweep = sweep_uarch_parameter(
+        trace, IVY_BRIDGE, "lbr_depth", (2, 4, 8, 16, 32, 64),
+        method="lbr", base_period=400, seeds=range(3),
+    )
+    print(sweep.render())
+
+    print(
+        "\nTakeaways mirror the paper: variable skid and the PEBS arming "
+        "shadow are the\ndominant hardware error sources, and the 16-deep "
+        "LBR already captures most of\nthe averaging benefit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Method advisor: Section 6.3 recommendations across machines & workloads.
+
+Characterizes every workload (instructions per taken branch, stall and
+mispredict behaviour), asks the advisor for a sampling method on each
+machine, and then *validates* the advice by measuring the recommended
+method against the classic default.
+
+Usage::
+
+    python examples/method_advisor.py
+"""
+
+from repro import ALL_UARCHES, Machine, evaluate_method, get_workload
+from repro.cpu.metrics import collect_metrics
+from repro.core.recommendations import recommend_method
+
+
+def main() -> None:
+    for workload_name in ("latency_biased", "test40", "mcf"):
+        workload = get_workload(workload_name)
+        program = workload.build(scale=0.2)
+        trace = None
+        print(f"===== {workload_name} =====")
+        for uarch in ALL_UARCHES:
+            machine = Machine(uarch)
+            execution = (machine.execute(program) if trace is None
+                         else machine.attach(trace))
+            trace = execution.trace
+            metrics = collect_metrics(execution)
+            recommendation = recommend_method(
+                execution, metrics=metrics,
+                nominal_period=workload.default_period,
+            )
+            classic = evaluate_method(
+                execution, "classic", workload.default_period, seeds=range(3)
+            )
+            chosen = evaluate_method(
+                execution, recommendation.method_key,
+                workload.default_period, seeds=range(3),
+            )
+            gain = classic.mean_error / max(chosen.mean_error, 1e-9)
+            print(f"\n[{uarch.name}] IPC {metrics.ipc:.2f}, "
+                  f"{metrics.instructions_per_taken_branch:.1f} "
+                  f"instr/taken, mispredicts {metrics.mispredict_rate:.1%}")
+            print(recommendation.render())
+            print(f"validated: classic error {classic.mean_error:.3f} -> "
+                  f"{recommendation.method_key} {chosen.mean_error:.3f} "
+                  f"({gain:.1f}x better)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

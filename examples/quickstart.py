@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: profile one workload with every sampling method.
+
+Runs the Latency-Biased kernel (the paper's simplest accuracy stressor) on
+the simulated Ivy Bridge machine, scores every Table 3 method against exact
+instrumentation, and prints the resulting accuracy ladder.
+
+Usage::
+
+    python examples/quickstart.py [scale]
+"""
+
+import sys
+
+from repro import IVY_BRIDGE, Machine, evaluate_method, get_workload
+from repro.core.methods import METHOD_KEYS, get_method, method_available
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+
+    workload = get_workload("latency_biased")
+    print(f"Building {workload.name} at scale {scale} ...")
+    program = workload.build(scale=scale)
+
+    machine = Machine(IVY_BRIDGE)
+    execution = machine.execute(program)
+    print(f"Executed {execution.num_instructions:,} instructions "
+          f"in {execution.total_cycles:,} cycles "
+          f"(IPC {execution.ipc:.2f}) on {IVY_BRIDGE.name}.\n")
+
+    print(f"{'method':22s} {'accuracy error':>16s}   description")
+    print("-" * 100)
+    for key in METHOD_KEYS:
+        if not method_available(key, IVY_BRIDGE):
+            continue
+        stats = evaluate_method(
+            execution, key, base_period=workload.default_period,
+            seeds=range(5),
+        )
+        spec = get_method(key)
+        print(f"{key:22s} {stats.mean_error:8.4f} ± {stats.std_error:.4f}"
+              f"   {spec.title}")
+
+    print(
+        "\nLower is better; note how the precisely distributed event "
+        "(pdir_fix) and the\nLBR method cut the error by an order of "
+        "magnitude versus the classic default."
+    )
+
+
+if __name__ == "__main__":
+    main()

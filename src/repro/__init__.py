@@ -1,0 +1,132 @@
+"""repro — reproduction of "Establishing a Base of Trust with Performance
+Counters for Enterprise Workloads" (Nowak et al., USENIX ATC 2015).
+
+The library simulates the paper's entire experimental stack — a synthetic
+ISA, three out-of-order machines (Westmere, Ivy Bridge, Magny-Cours), their
+PMUs (skid/shadow, PEBS, PDIR, IBS, LBR), the Table 3 sampling-method ladder,
+exact reference instrumentation, and the kernel/application workloads — and
+regenerates the paper's accuracy tables.
+
+Quickstart::
+
+    from repro import Machine, IVY_BRIDGE, evaluate_method, get_workload
+
+    workload = get_workload("latency_biased")
+    execution = Machine(IVY_BRIDGE).execute(workload.build())
+    stats = evaluate_method(execution, "lbr", base_period=2000, seeds=range(5))
+    print(stats.mean_error)
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    AnalysisError,
+    ExecutionError,
+    PMUConfigError,
+    ProgramError,
+    ReproError,
+    WorkloadError,
+)
+from repro.isa import (
+    BasicBlock,
+    BlockKind,
+    Function,
+    Instruction,
+    LatencyClass,
+    Opcode,
+    Program,
+    ProgramBuilder,
+)
+from repro.cpu import (
+    ALL_UARCHES,
+    Execution,
+    IVY_BRIDGE,
+    MAGNY_COURS,
+    Machine,
+    Microarchitecture,
+    Trace,
+    WESTMERE,
+    get_uarch,
+    run_program,
+)
+from repro.pmu import (
+    Event,
+    EventKind,
+    LBRFacility,
+    PeriodPolicy,
+    Precision,
+    Randomization,
+    SampleBatch,
+    Sampler,
+    SamplingConfig,
+)
+from repro.instrumentation import ReferenceCounts, collect_reference
+from repro.core import (
+    AccuracyStats,
+    MethodSpec,
+    METHOD_KEYS,
+    METHODS,
+    Profile,
+    accuracy_error,
+    evaluate_method,
+    get_method,
+    run_method,
+)
+from repro.workloads import Workload, get_workload, list_workloads
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ProgramError",
+    "ExecutionError",
+    "PMUConfigError",
+    "WorkloadError",
+    "AnalysisError",
+    # isa
+    "Opcode",
+    "LatencyClass",
+    "Instruction",
+    "BasicBlock",
+    "BlockKind",
+    "Function",
+    "Program",
+    "ProgramBuilder",
+    # cpu
+    "Microarchitecture",
+    "WESTMERE",
+    "IVY_BRIDGE",
+    "MAGNY_COURS",
+    "ALL_UARCHES",
+    "get_uarch",
+    "Machine",
+    "Execution",
+    "Trace",
+    "run_program",
+    # pmu
+    "Event",
+    "EventKind",
+    "Precision",
+    "PeriodPolicy",
+    "Randomization",
+    "Sampler",
+    "SamplingConfig",
+    "SampleBatch",
+    "LBRFacility",
+    # instrumentation
+    "ReferenceCounts",
+    "collect_reference",
+    # core
+    "Profile",
+    "accuracy_error",
+    "AccuracyStats",
+    "MethodSpec",
+    "METHODS",
+    "METHOD_KEYS",
+    "get_method",
+    "run_method",
+    "evaluate_method",
+    # workloads
+    "Workload",
+    "get_workload",
+    "list_workloads",
+]

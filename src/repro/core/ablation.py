@@ -1,0 +1,94 @@
+"""Ablation sweeps over hardware and sampling parameters.
+
+DESIGN.md (section 5) calls out the modelling choices behind each headline
+result; these helpers quantify each one by sweeping a single parameter while
+holding everything else fixed — e.g. how the classic method's error grows
+with PMI skid, or how LBR accuracy scales with stack depth (the hardware
+recommendation discussion of Section 6.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.cpu.machine import Machine
+from repro.cpu.trace import Trace
+from repro.cpu.uarch import Microarchitecture
+from repro.core.runner import evaluate_method
+from repro.core.stats import AccuracyStats
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameter value, accuracy) pair of a sweep."""
+
+    value: object
+    stats: AccuracyStats
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A complete one-dimensional sweep."""
+
+    parameter: str
+    method: str
+    points: tuple[SweepPoint, ...]
+
+    def errors(self) -> list[float]:
+        return [p.stats.mean_error for p in self.points]
+
+    def values(self) -> list[object]:
+        return [p.value for p in self.points]
+
+    def render(self) -> str:
+        lines = [f"sweep of {self.parameter} (method: {self.method})"]
+        for point in self.points:
+            lines.append(f"  {self.parameter}={point.value!s:>8}  "
+                         f"error={point.stats.mean_error:.4f} "
+                         f"± {point.stats.std_error:.4f}")
+        return "\n".join(lines)
+
+
+def sweep_uarch_parameter(
+    trace: Trace,
+    base_uarch: Microarchitecture,
+    parameter: str,
+    values: Sequence[object],
+    method: str,
+    base_period: int,
+    seeds: Iterable[int] = range(3),
+) -> SweepResult:
+    """Score one method while varying a microarchitecture field.
+
+    The trace is machine-independent, so each point only re-times the
+    retirement stream under the modified machine.
+    """
+    seeds = list(seeds)
+    points = []
+    for value in values:
+        uarch = dataclasses.replace(base_uarch, **{parameter: value})
+        execution = Machine(uarch).attach(trace)
+        stats = evaluate_method(execution, method, base_period, seeds=seeds)
+        points.append(SweepPoint(value=value, stats=stats))
+    return SweepResult(parameter=parameter, method=method,
+                       points=tuple(points))
+
+
+def sweep_period(
+    trace: Trace,
+    uarch: Microarchitecture,
+    periods: Sequence[int],
+    method: str,
+    seeds: Iterable[int] = range(3),
+) -> SweepResult:
+    """Score one method across base periods (the synchronization sweep)."""
+    seeds = list(seeds)
+    execution = Machine(uarch).attach(trace)
+    points = []
+    for period in periods:
+        stats = evaluate_method(execution, method, period, seeds=seeds)
+        points.append(SweepPoint(value=period, stats=stats))
+    return SweepResult(parameter="base_period", method=method,
+                       points=tuple(points))

@@ -1,0 +1,202 @@
+"""Command-line interface: regenerate the paper's tables and claims.
+
+Examples::
+
+    repro-pmu list
+    repro-pmu table1 --scale 0.5 --repeats 3
+    repro-pmu table2 --scale 0.5
+    repro-pmu table3
+    repro-pmu claims --scale 0.5
+    repro-pmu run --machine ivybridge --workload mcf --method lbr
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro._version import __version__
+from repro.cpu.uarch import ALL_UARCHES, get_uarch
+from repro.core.compare import evaluate_all_claims
+from repro.core.experiment import ExperimentConfig, Harness
+from repro.core.methods import METHODS, method_available
+from repro.core.tables import build_table1, build_table2, render_table3
+from repro.workloads.registry import list_workloads
+
+
+def _add_harness_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload size multiplier (default 1.0, a few M instructions)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="seeded repeats per cell (default 5, as in the paper)",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true",
+        help="render tables as markdown instead of fixed-width text",
+    )
+
+
+def _make_harness(args: argparse.Namespace) -> Harness:
+    return Harness(ExperimentConfig(scale=args.scale, repeats=args.repeats))
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("Machines:")
+    for uarch in ALL_UARCHES:
+        features = []
+        if uarch.has_pebs:
+            features.append("PEBS")
+        if uarch.has_pdir:
+            features.append("PDIR")
+        if uarch.has_ibs:
+            features.append("IBS")
+        if uarch.has_lbr:
+            features.append(f"LBR({uarch.lbr_depth})")
+        print(f"  {uarch.name:12s} {uarch.vendor:6s} {', '.join(features)}")
+    print("\nWorkloads:")
+    for workload in list_workloads():
+        print(f"  {workload.name:16s} [{workload.category}] "
+              f"{workload.description}")
+    print("\nMethods:")
+    for spec in METHODS:
+        tag = "" if spec.in_table3 else " (supplemental)"
+        print(f"  {spec.key:20s} {spec.title}{tag}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    table = build_table1(_make_harness(args))
+    print(table.to_markdown() if args.markdown else table.render())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    table = build_table2(_make_harness(args))
+    print(table.to_markdown() if args.markdown else table.render())
+    return 0
+
+
+def _cmd_table3(_: argparse.Namespace) -> int:
+    print(render_table3())
+    return 0
+
+
+def _cmd_claims(args: argparse.Namespace) -> int:
+    results = evaluate_all_claims(_make_harness(args))
+    for result in results:
+        print(result)
+    failed = sum(1 for r in results if not r.holds)
+    print(f"\n{len(results) - failed}/{len(results)} claims hold")
+    return 1 if failed else 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    harness = _make_harness(args)
+    uarch = get_uarch(args.machine)
+    if not method_available(args.method, uarch):
+        print(f"method {args.method!r} is not available on {args.machine}",
+              file=sys.stderr)
+        return 2
+    stats = harness.cell(args.machine, args.workload, args.method,
+                         base_period=args.period)
+    assert stats is not None
+    print(f"{args.machine}/{args.workload}/{args.method}: {stats} "
+          f"(over {stats.repeats} runs)")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    from repro.cpu.metrics import collect_metrics
+    from repro.core.recommendations import recommend_method
+
+    harness = _make_harness(args)
+    execution = harness.execution(args.machine, args.workload)
+    metrics = collect_metrics(execution)
+    print(f"workload {args.workload} on {args.machine}: "
+          f"IPC {metrics.ipc:.2f}, "
+          f"{metrics.instructions_per_taken_branch:.1f} instr/taken-branch, "
+          f"mispredict rate {metrics.mispredict_rate:.1%}, "
+          f"{metrics.stall_cycle_fraction:.0%} of cycles stalled\n")
+    recommendation = recommend_method(
+        execution, metrics=metrics,
+        want_maximum_accuracy=not args.no_lbr,
+    )
+    print(recommendation.render())
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.isa.disasm import disassemble
+    from repro.workloads.registry import get_workload
+
+    program = get_workload(args.workload).build(scale=args.scale)
+    print(disassemble(program, function=args.function))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-pmu",
+        description=(
+            "Reproduce 'Establishing a Base of Trust with Performance "
+            "Counters for Enterprise Workloads' (USENIX ATC 2015) on a "
+            "simulated CPU/PMU substrate."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list machines, workloads, methods") \
+        .set_defaults(func=_cmd_list)
+
+    p1 = sub.add_parser("table1", help="regenerate Table 1 (kernels)")
+    _add_harness_args(p1)
+    p1.set_defaults(func=_cmd_table1)
+
+    p2 = sub.add_parser("table2", help="regenerate Table 2 (applications)")
+    _add_harness_args(p2)
+    p2.set_defaults(func=_cmd_table2)
+
+    sub.add_parser("table3", help="render Table 3 (method catalogue)") \
+        .set_defaults(func=_cmd_table3)
+
+    pc = sub.add_parser("claims", help="check the paper's prose claims")
+    _add_harness_args(pc)
+    pc.set_defaults(func=_cmd_claims)
+
+    pr = sub.add_parser("run", help="score one machine/workload/method cell")
+    _add_harness_args(pr)
+    pr.add_argument("--machine", required=True)
+    pr.add_argument("--workload", required=True)
+    pr.add_argument("--method", required=True)
+    pr.add_argument("--period", type=int, default=None,
+                    help="round base period (default: workload's)")
+    pr.set_defaults(func=_cmd_run)
+
+    pa = sub.add_parser(
+        "recommend",
+        help="advise a sampling method for a workload (Section 6.3)",
+    )
+    _add_harness_args(pa)
+    pa.add_argument("--machine", required=True)
+    pa.add_argument("--workload", required=True)
+    pa.add_argument("--no-lbr", action="store_true",
+                    help="exclude LBR methods (no tool support)")
+    pa.set_defaults(func=_cmd_recommend)
+
+    pd = sub.add_parser("disasm", help="disassemble a workload's program")
+    pd.add_argument("--workload", required=True)
+    pd.add_argument("--function", default=None)
+    pd.add_argument("--scale", type=float, default=0.01)
+    pd.set_defaults(func=_cmd_disasm)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""The experiment harness: caches traces and scores (machine, workload,
+method) cells.
+
+Traces are microarchitecture-independent and expensive (the interpreter
+runs millions of blocks), so the harness executes each workload once and
+re-observes the trace on every machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.machine import Execution, Machine
+from repro.cpu.trace import Trace
+from repro.cpu.uarch import ALL_UARCHES, get_uarch
+from repro.instrumentation.reference import ReferenceCounts, collect_reference
+from repro.core.methods import method_available
+from repro.core.runner import evaluate_method
+from repro.core.stats import AccuracyStats
+from repro.workloads.registry import get_workload
+
+#: Machine names in the order the paper's tables list them.
+DEFAULT_MACHINES: tuple[str, ...] = tuple(u.name for u in ALL_UARCHES)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Global experiment parameters.
+
+    ``scale`` multiplies workload sizes (1.0 ≈ a few million instructions);
+    ``repeats`` is the number of seeded runs per cell (the paper uses five).
+    """
+
+    scale: float = 1.0
+    repeats: int = 5
+    seed_base: int = 100
+    machines: tuple[str, ...] = DEFAULT_MACHINES
+
+    @property
+    def seeds(self) -> range:
+        return range(self.seed_base, self.seed_base + self.repeats)
+
+
+class Harness:
+    """Caches executions and per-cell accuracy statistics."""
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config or ExperimentConfig()
+        self._traces: dict[str, Trace] = {}
+        self._references: dict[str, ReferenceCounts] = {}
+        self._cells: dict[tuple[str, str, str, int], AccuracyStats] = {}
+
+    def trace(self, workload_name: str) -> Trace:
+        """The (cached) dynamic trace of one workload at the config scale."""
+        if workload_name not in self._traces:
+            workload = get_workload(workload_name)
+            program = workload.build(scale=self.config.scale)
+            execution = Machine(get_uarch(self.config.machines[0])).execute(
+                program
+            )
+            self._traces[workload_name] = execution.trace
+        return self._traces[workload_name]
+
+    def execution(self, machine_name: str, workload_name: str) -> Execution:
+        """The workload observed on one machine (trace shared)."""
+        return Machine(get_uarch(machine_name)).attach(self.trace(workload_name))
+
+    def reference(self, workload_name: str) -> ReferenceCounts:
+        """Exact instrumentation counts for one workload."""
+        if workload_name not in self._references:
+            self._references[workload_name] = collect_reference(
+                self.trace(workload_name)
+            )
+        return self._references[workload_name]
+
+    def period_for(self, workload_name: str) -> int:
+        """The workload's default round base period."""
+        return get_workload(workload_name).default_period
+
+    def cell(
+        self,
+        machine_name: str,
+        workload_name: str,
+        method_key: str,
+        base_period: int | None = None,
+    ) -> AccuracyStats | None:
+        """Accuracy stats for one table cell; ``None`` when the method is
+        not implementable on the machine (the paper's blank cells)."""
+        period = base_period or self.period_for(workload_name)
+        key = (machine_name, workload_name, method_key, period)
+        if key in self._cells:
+            return self._cells[key]
+        uarch = get_uarch(machine_name)
+        if not method_available(method_key, uarch):
+            return None
+        stats = evaluate_method(
+            self.execution(machine_name, workload_name),
+            method_key,
+            period,
+            seeds=self.config.seeds,
+            reference=self.reference(workload_name),
+        )
+        self._cells[key] = stats
+        return stats

@@ -1,0 +1,39 @@
+"""Export reproduced tables to CSV / JSON for downstream analysis."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.core.tables import TableResult
+
+
+def table_to_csv(table: TableResult) -> str:
+    """CSV with one row per (machine, workload, method) cell."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer,
+        fieldnames=["machine", "workload", "method", "mean_error",
+                    "std_error", "repeats"],
+    )
+    writer.writeheader()
+    for row in table.to_rows():
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def table_to_json(table: TableResult, indent: int = 2) -> str:
+    """JSON document carrying the title and the flat cell records."""
+    return json.dumps(
+        {"title": table.title, "cells": table.to_rows()},
+        indent=indent,
+    )
+
+
+def load_table_json(text: str) -> dict:
+    """Parse a document produced by :func:`table_to_json`."""
+    document = json.loads(text)
+    if "title" not in document or "cells" not in document:
+        raise ValueError("not a repro table document")
+    return document

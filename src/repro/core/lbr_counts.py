@@ -1,0 +1,92 @@
+"""Full LBR-based basic-block execution accounting (Section 3.2).
+
+When sampling on the retired-taken-branches event, each PMI freezes a
+16-entry LBR stack. Between a recorded target ``T_i`` and the next recorded
+source ``S_{i+1}`` no branch was taken, so every basic block in the address
+range ``[T_i, S_{i+1}]`` executed exactly once. Crediting those blocks across
+all samples — and scaling by how many taken branches each sample stands for —
+yields estimated block *execution* counts, which multiply out to instruction
+counts. The PMI's own reported address is ignored, as in the paper.
+
+Blocks are laid out in address order, so the blocks covered by one segment
+form a contiguous index range; crediting uses a difference array, making the
+whole accounting O(samples * depth + blocks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.pmu.sampler import SampleBatch
+from repro.core.profile import Profile
+
+
+def lbr_block_exec_counts(batch: SampleBatch) -> np.ndarray:
+    """Estimated per-block execution counts from a batch's LBR stacks."""
+    if batch.lbr_ranges is None:
+        raise AnalysisError("LBR accounting requires a batch collected with LBRs")
+    trace = batch.execution.trace
+    program = batch.execution.program
+    nblocks = program.num_blocks
+
+    start, end = batch.lbr_ranges
+    seg_counts = np.maximum(end - start - 1, 0)
+    total_segments = int(seg_counts.sum())
+    if total_segments == 0:
+        return np.zeros(nblocks, dtype=np.float64)
+
+    # Flatten all ⟨T_i, S_{i+1}⟩ segments across samples. Segment j of
+    # sample s pairs entry (start+j) target with entry (start+j+1) source.
+    sample_of_seg = np.repeat(
+        np.arange(start.size, dtype=np.int64), seg_counts
+    )
+    seg_pos = np.arange(total_segments, dtype=np.int64)
+    seg_pos -= np.repeat(np.cumsum(seg_counts) - seg_counts, seg_counts)
+    first_entry = start[sample_of_seg] + seg_pos
+
+    seg_targets = trace.taken_targets[first_entry]
+    seg_sources = trace.taken_sources[first_entry + 1]
+
+    first_block = program.block_indices_at(seg_targets)
+    last_block = program.block_indices_at(seg_sources)
+    if (first_block < 0).any() or (last_block < 0).any():
+        raise AnalysisError("LBR segment endpoint outside the program image")
+    if (last_block < first_block).any():
+        raise AnalysisError("LBR segment with decreasing addresses")
+
+    # Each segment stands for one taken branch out of the sample's period;
+    # weight so a sample's stack represents its full (nominal) period of
+    # branches.
+    weights = (
+        float(batch.nominal_period)
+        / seg_counts[sample_of_seg].astype(np.float64)
+    )
+
+    delta = np.zeros(nblocks + 1, dtype=np.float64)
+    np.add.at(delta, first_block, weights)
+    np.add.at(delta, last_block + 1, -weights)
+    counts = np.cumsum(delta[:-1])
+    # The prefix sum cancels each +w with a later -w; rounding can leave
+    # residues around zero, so clamp them out.
+    np.maximum(counts, 0.0, out=counts)
+    return counts
+
+
+def attribute_lbr(batch: SampleBatch, method: str = "lbr") -> Profile:
+    """Build an instruction-count profile from full LBR accounting."""
+    program = batch.execution.program
+    exec_counts = lbr_block_exec_counts(batch)
+    est = exec_counts * program.tables.block_sizes
+    return Profile(
+        program=program,
+        method=method,
+        block_instr_estimates=est,
+        num_samples=batch.num_samples,
+        metadata={
+            "event": batch.config.event.name,
+            "period": batch.config.period.describe(),
+            "dropped": batch.dropped,
+            "lbr_depth": batch.execution.uarch.lbr_depth,
+        },
+    )

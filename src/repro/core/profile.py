@@ -1,0 +1,75 @@
+"""Profile data structures: estimated per-block instruction counts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.isa.program import Program
+
+
+@dataclass
+class Profile:
+    """A basic-block profile estimated by one sampling method.
+
+    ``block_instr_estimates[b]`` estimates the number of instructions retired
+    in block ``b`` — the quantity the paper's error metric compares against
+    the reference counts.
+    """
+
+    program: Program
+    method: str
+    block_instr_estimates: np.ndarray  # float64 per block
+    num_samples: int
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        est = np.asarray(self.block_instr_estimates, dtype=np.float64)
+        if est.shape != (self.program.num_blocks,):
+            raise AnalysisError(
+                f"profile has {est.shape} estimates for "
+                f"{self.program.num_blocks} blocks"
+            )
+        if (est < 0).any():
+            raise AnalysisError("negative block estimate")
+        self.block_instr_estimates = est
+
+    @property
+    def total_estimate(self) -> float:
+        """Total estimated instructions across all blocks."""
+        return float(self.block_instr_estimates.sum())
+
+    def normalized_to(self, total_instructions: int) -> "Profile":
+        """Rescale so the profile's mass equals the known retired-instruction
+        total (profilers obtain this from counting mode)."""
+        mass = self.total_estimate
+        if mass <= 0:
+            raise AnalysisError(
+                f"cannot normalize an empty profile for {self.method!r}"
+            )
+        scaled = self.block_instr_estimates * (total_instructions / mass)
+        return Profile(
+            program=self.program,
+            method=self.method,
+            block_instr_estimates=scaled,
+            num_samples=self.num_samples,
+            metadata=dict(self.metadata, normalized=True),
+        )
+
+    def function_instr_estimates(self) -> np.ndarray:
+        """Estimates aggregated to function granularity (float64)."""
+        tables = self.program.tables
+        return np.bincount(
+            tables.block_func,
+            weights=self.block_instr_estimates,
+            minlength=len(self.program.functions),
+        )
+
+    def top_functions(self, n: int = 10) -> list[tuple[str, float]]:
+        """The ``n`` hottest functions by estimated instruction count."""
+        totals = self.function_instr_estimates()
+        order = np.argsort(totals)[::-1][:n]
+        names = self.program.function_names()
+        return [(names[i], float(totals[i])) for i in order]

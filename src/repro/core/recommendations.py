@@ -1,0 +1,120 @@
+"""The Section 6.3 advisor: pick a sampling method for a workload.
+
+The paper's recommendation to application optimizers: *"sample on a modern
+platform with support for precise distributed events, while using a prime
+period. Kernel-like code additionally benefits from more frequent sampling
+periods and period randomization. For ultimate sampling performance ...
+employ LBR-based methods."* This module turns that paragraph into code:
+given a machine's feature set and a workload's measured characteristics, it
+recommends a method with an explicit rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.machine import Execution
+from repro.cpu.metrics import ExecutionMetrics, collect_metrics
+from repro.core.methods import get_method, method_available
+from repro.pmu.periods import next_prime
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A method choice plus the reasoning behind it."""
+
+    method_key: str
+    base_period: int
+    rationale: tuple[str, ...]
+
+    def render(self) -> str:
+        spec = get_method(self.method_key)
+        lines = [
+            f"recommended method: {self.method_key} ({spec.title})",
+            f"recommended period: {self.base_period:,}",
+            "because:",
+        ]
+        lines.extend(f"  - {reason}" for reason in self.rationale)
+        return "\n".join(lines)
+
+
+def recommend_method(
+    execution: Execution,
+    metrics: ExecutionMetrics | None = None,
+    want_maximum_accuracy: bool = True,
+    nominal_period: int = 2_000_000,
+) -> Recommendation:
+    """Recommend a sampling method for a workload on a machine.
+
+    ``want_maximum_accuracy`` mirrors the paper's "ultimate sampling
+    performance" tier: LBR methods need tool support and post-processing,
+    so callers may opt for the plain EBS ladder instead.
+    """
+    uarch = execution.uarch
+    if metrics is None:
+        metrics = collect_metrics(execution)
+    rationale: list[str] = []
+
+    period = next_prime(nominal_period)
+    rationale.append(
+        f"prime period {period:,} avoids synchronizing with loop trip "
+        "counts (Section 6.1)"
+    )
+    if metrics.is_kernel_like():
+        period = next_prime(max(2, nominal_period // 4))
+        rationale.append(
+            "kernel-like code (>=15 instructions per taken branch): more "
+            "frequent sampling recommended (Section 6.3)"
+        )
+
+    if want_maximum_accuracy and method_available("lbr", uarch):
+        rationale.append(
+            "LBR-based basic-block accounting maximizes accuracy "
+            f"(Section 6.3); {uarch.name} has a "
+            f"{uarch.lbr_depth}-deep LBR"
+        )
+        if metrics.is_fragmented():
+            rationale.append(
+                "fragmented profile "
+                f"({metrics.instructions_per_taken_branch:.1f} instructions "
+                "per taken branch): short blocks benefit most from LBR "
+                "averaging"
+            )
+        return Recommendation("lbr", period, tuple(rationale))
+
+    if method_available("pdir_fix", uarch):
+        rationale.append(
+            "precisely distributed event available: removes burst aliasing "
+            "and, with the LBR IP+1 fix, the off-by-one block attribution"
+        )
+        if metrics.is_stall_bound():
+            rationale.append(
+                f"stall-bound workload ({metrics.stall_cycle_fraction:.0%} "
+                "of cycles stalled): PDIR avoids the PEBS arming shadow"
+            )
+        return Recommendation("pdir_fix", period, tuple(rationale))
+
+    if method_available("precise_fix", uarch):
+        rationale.append(
+            "no PDIR on this machine: PEBS plus the LBR-based IP offset "
+            "correction is the best available EBS configuration"
+        )
+        if metrics.is_stall_bound():
+            rationale.append(
+                "warning: PEBS parks on long-latency instructions here; "
+                "expect residual latency bias (Section 5.1)"
+            )
+        return Recommendation("precise_fix", period, tuple(rationale))
+
+    # AMD path: IBS with a prime period is the only precise option.
+    rationale.append(
+        f"{uarch.name} has neither PEBS nor LBR: IBS (uop granularity) "
+        "with a prime period is the best available; expect uop-weighting "
+        "bias (Section 6.2 asks for a precise instruction event)"
+    )
+    if metrics.mispredict_rate > 0.05:
+        rationale.append(
+            f"mispredict rate {metrics.mispredict_rate:.1%}: IBS loses "
+            "samples to wrong-path flushes near hard branches"
+        )
+    return Recommendation("precise_prime", period, tuple(rationale))

@@ -1,0 +1,79 @@
+"""Repeat statistics and method comparisons.
+
+The paper measures each kernel five times (Section 4.1); we mirror that with
+five seeds and report mean/std. Comparisons between methods use improvement
+factors ("LBR reduces errors by up to 18x, 3-6x on average", Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class AccuracyStats:
+    """Accuracy errors of one method over repeated runs."""
+
+    method: str
+    errors: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.errors:
+            raise AnalysisError(f"no error samples for method {self.method!r}")
+        if any(e < 0 for e in self.errors):
+            raise AnalysisError("accuracy errors cannot be negative")
+
+    @property
+    def mean_error(self) -> float:
+        return float(np.mean(self.errors))
+
+    @property
+    def std_error(self) -> float:
+        return float(np.std(self.errors))
+
+    @property
+    def min_error(self) -> float:
+        return float(np.min(self.errors))
+
+    @property
+    def max_error(self) -> float:
+        return float(np.max(self.errors))
+
+    @property
+    def repeats(self) -> int:
+        return len(self.errors)
+
+    def __str__(self) -> str:
+        return f"{self.mean_error:.4f} ± {self.std_error:.4f}"
+
+
+def summarize_errors(method: str, errors: list[float]) -> AccuracyStats:
+    """Bundle repeat errors into an :class:`AccuracyStats`."""
+    return AccuracyStats(method=method, errors=tuple(errors))
+
+
+def improvement_factor(baseline: float, improved: float) -> float:
+    """How many times smaller ``improved`` error is than ``baseline``.
+
+    Values above 1 mean the improved method is better. A zero improved error
+    with a nonzero baseline yields ``inf``; two zero errors yield 1.
+    """
+    if baseline < 0 or improved < 0:
+        raise AnalysisError("errors cannot be negative")
+    if improved == 0:
+        return float("inf") if baseline > 0 else 1.0
+    return baseline / improved
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean of positive values (for averaging factors)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise AnalysisError("geometric mean of no values")
+    if (arr <= 0).any():
+        raise AnalysisError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,108 @@
+"""Sanity checks a profiler should run on its own samples.
+
+Section 6.1 asks tool developers to treat sampling configuration as a
+correctness concern. This module provides the checks a tool can apply to a
+collected batch *without* ground truth:
+
+* **resonance detection** — synchronization with the workload shows up as a
+  tiny set of distinct sample addresses carrying almost all the mass;
+* **coverage** — what fraction of (executed) blocks received any sample;
+* **drop accounting** — samples lost to end-of-run delivery or wrong-path
+  flushes (IBS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.pmu.sampler import SampleBatch
+
+
+@dataclass(frozen=True)
+class BatchDiagnostics:
+    """Tool-side health report for one sample batch."""
+
+    num_samples: int
+    dropped: int
+    distinct_addresses: int
+    #: Fraction of sample mass on the single most-hit address.
+    top_address_share: float
+    #: Distinct addresses per sample — near zero under hard resonance.
+    address_diversity: float
+    #: Fraction of static blocks containing at least one sample.
+    block_coverage: float
+
+    @property
+    def resonance_suspected(self) -> bool:
+        """Heuristic from Section 3.1/6.1: a profile concentrated on a
+        handful of addresses despite many samples suggests the period is
+        synchronized with the workload."""
+        return (
+            self.num_samples >= 50
+            and self.top_address_share >= 0.5
+            and self.address_diversity < 0.05
+        )
+
+    def warnings(self) -> list[str]:
+        """Human-readable warnings (empty = batch looks healthy)."""
+        messages = []
+        if self.resonance_suspected:
+            messages.append(
+                f"possible period synchronization: "
+                f"{self.top_address_share:.0%} of samples hit one address "
+                f"({self.distinct_addresses} distinct in "
+                f"{self.num_samples} samples); try a prime or randomized "
+                "period"
+            )
+        if self.num_samples and self.dropped > self.num_samples // 10:
+            messages.append(
+                f"{self.dropped} samples dropped vs {self.num_samples} "
+                "delivered; profile may under-represent the run's tail"
+            )
+        if self.num_samples < 100:
+            messages.append(
+                f"only {self.num_samples} samples: statistical noise will "
+                "dominate per-block estimates; lower the period"
+            )
+        return messages
+
+
+def diagnose_batch(batch: SampleBatch) -> BatchDiagnostics:
+    """Compute the health report for a batch."""
+    n = batch.num_samples
+    if n == 0:
+        return BatchDiagnostics(
+            num_samples=0,
+            dropped=batch.dropped,
+            distinct_addresses=0,
+            top_address_share=0.0,
+            address_diversity=0.0,
+            block_coverage=0.0,
+        )
+    addresses = batch.reported_addresses
+    _, counts = np.unique(addresses, return_counts=True)
+    program = batch.execution.program
+    blocks = np.unique(
+        batch.execution.trace.instr_block[batch.reported_idx]
+    )
+    return BatchDiagnostics(
+        num_samples=n,
+        dropped=batch.dropped,
+        distinct_addresses=int(counts.size),
+        top_address_share=float(counts.max() / n),
+        address_diversity=float(counts.size / n),
+        block_coverage=float(blocks.size / program.num_blocks),
+    )
+
+
+def assert_healthy(batch: SampleBatch) -> None:
+    """Raise :class:`AnalysisError` when a batch fails its own checks."""
+    diagnostics = diagnose_batch(batch)
+    problems = diagnostics.warnings()
+    if problems:
+        raise AnalysisError(
+            "sample batch failed validation: " + "; ".join(problems)
+        )

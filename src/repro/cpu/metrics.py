@@ -1,0 +1,70 @@
+"""Execution metrics: the workload characterisation behind Section 6.3.
+
+The paper's recommendations to application optimizers depend on workload
+properties — how fragmented the code is (instructions per taken branch),
+how stall-bound it is, how predictable its branches are. This module
+summarizes one :class:`~repro.cpu.machine.Execution` into those numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.machine import Execution
+
+
+@dataclass(frozen=True)
+class ExecutionMetrics:
+    """Summary statistics of one execution on one machine."""
+
+    instructions: int
+    cycles: int
+    ipc: float
+    taken_branches: int
+    instructions_per_taken_branch: float
+    mispredict_rate: float
+    #: Fraction of retired instructions with visible (unhidden) latency.
+    stall_instruction_fraction: float
+    #: Visible stall cycles per retired instruction.
+    stall_cycles_per_instruction: float
+    #: Fraction of cycles spent with retirement stalled.
+    stall_cycle_fraction: float
+
+    def is_kernel_like(self) -> bool:
+        """Tight, regular code: long stretches between taken branches."""
+        return self.instructions_per_taken_branch >= 15.0
+
+    def is_fragmented(self) -> bool:
+        """Enterprise-style code (Section 2.3: ratios around 6-12)."""
+        return self.instructions_per_taken_branch <= 12.0
+
+    def is_stall_bound(self) -> bool:
+        """Latency-dominated code where shadow effects bite hardest."""
+        return self.stall_cycle_fraction >= 0.3
+
+
+def collect_metrics(execution: Execution) -> ExecutionMetrics:
+    """Compute the metric summary for an execution."""
+    trace = execution.trace
+    uarch = execution.uarch
+    n = trace.num_instructions
+    cycles = execution.total_cycles
+
+    stalls = uarch.visible_stall_lut()[trace.latency_classes]
+    stall_instrs = int((stalls > 0).sum())
+    stall_cycles = int(stalls.sum(dtype=np.int64))
+
+    taken = trace.num_taken_branches
+    return ExecutionMetrics(
+        instructions=n,
+        cycles=cycles,
+        ipc=execution.ipc,
+        taken_branches=taken,
+        instructions_per_taken_branch=trace.instructions_per_taken_branch(),
+        mispredict_rate=execution.predictor.mispredict_rate(),
+        stall_instruction_fraction=stall_instrs / n,
+        stall_cycles_per_instruction=stall_cycles / n,
+        stall_cycle_fraction=min(1.0, stall_cycles / max(1, cycles)),
+    )

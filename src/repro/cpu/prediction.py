@@ -1,0 +1,106 @@
+"""Branch-prediction model.
+
+Sampling accuracy interacts with speculation in two ways the paper's
+machines exhibit:
+
+* a mispredicted branch stalls retirement while the pipeline refills, so
+  imprecise samples park on branch targets (another shadow source), and
+* AMD's IBS tags uops at dispatch — a tag landing on a wrong-path uop is
+  flushed with it and the sample is lost, biasing IBS away from code that
+  follows hard-to-predict branches.
+
+The predictor here is deliberately simple but vectorized: a conditional
+branch is predicted correctly when its outcome matches either of its last
+two outcomes (approximating a short-local-history predictor: constant
+branches always predict, alternating branches are learned, random branches
+mispredict ~25% of the time). Indirect calls predict the last observed
+target (a BTB); returns and direct jumps/calls never mispredict (RAS/BTB).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.cpu.trace import Trace
+from repro.isa.block import BlockKind
+
+
+def _grouped_prev(values: np.ndarray, groups: np.ndarray, lag: int) -> np.ndarray:
+    """``values`` lagged by ``lag`` within each group (stable group order).
+
+    Entries without ``lag`` predecessors in their group are returned as -1.
+    ``values`` must be non-negative.
+    """
+    order = np.argsort(groups, kind="stable")
+    inv = np.empty_like(order)
+    inv[order] = np.arange(order.size)
+    sorted_groups = groups[order]
+    sorted_values = values[order]
+    prev = np.full(values.size, -1, dtype=np.int64)
+    if values.size > lag:
+        same_group = sorted_groups[lag:] == sorted_groups[:-lag]
+        prev[lag:][same_group] = sorted_values[:-lag][same_group]
+    return prev[inv]
+
+
+class BranchPredictor:
+    """Per-trace misprediction flags and positions."""
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+
+    @cached_property
+    def occurrence_mispredicts(self) -> np.ndarray:
+        """Bool per block occurrence: its terminator mispredicted."""
+        trace = self.trace
+        tables = trace.program.tables
+        seq = trace.block_seq
+        kinds = tables.block_kind[seq]
+        mis = np.zeros(seq.size, dtype=bool)
+
+        # Conditional branches: compare the outcome to the last two outcomes
+        # of the same static branch.
+        cond = np.flatnonzero(kinds == int(BlockKind.COND))
+        if cond.size:
+            outcome = trace.occurrence_taken[cond].astype(np.int64)
+            sites = seq[cond].astype(np.int64)
+            prev1 = _grouped_prev(outcome, sites, 1)
+            prev2 = _grouped_prev(outcome, sites, 2)
+            cond_mis = (outcome != prev1) & (outcome != prev2)
+            mis[cond] = cond_mis
+
+        # Indirect calls: a BTB predicting the last observed target.
+        icall = np.flatnonzero(kinds == int(BlockKind.ICALL))
+        if icall.size:
+            # Target = the next block occurrence; the final occurrence has
+            # no successor but an ICALL can never be final (its callee runs).
+            targets = seq[icall + 1].astype(np.int64)
+            sites = seq[icall].astype(np.int64)
+            prev = _grouped_prev(targets, sites, 1)
+            mis[icall] = targets != prev
+
+        return mis
+
+    @cached_property
+    def mispredict_positions(self) -> np.ndarray:
+        """Trace indices of mispredicted branch instructions (int64)."""
+        trace = self.trace
+        ends = trace.occurrence_starts + trace.occurrence_sizes - 1
+        return ends[self.occurrence_mispredicts]
+
+    @cached_property
+    def mispredict_count(self) -> int:
+        return int(self.mispredict_positions.size)
+
+    def mispredict_rate(self) -> float:
+        """Mispredicts per conditional-or-indirect branch occurrence."""
+        tables = self.trace.program.tables
+        kinds = tables.block_kind[self.trace.block_seq]
+        predictable = np.isin(
+            kinds, [int(BlockKind.COND), int(BlockKind.ICALL)]
+        ).sum()
+        if predictable == 0:
+            return 0.0
+        return self.mispredict_count / int(predictable)

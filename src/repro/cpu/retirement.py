@@ -1,0 +1,77 @@
+"""Retirement-timing model.
+
+Assigns each retired instruction an integer retirement cycle:
+
+``retire_cycle[i] = i // retire_width + cumulative_visible_stall[i]``
+
+This captures the two phenomena the paper's error analysis depends on:
+
+* **Bursts** — up to ``retire_width`` instructions share a retirement cycle,
+  so precise-but-not-distributed capture (PEBS without PDIR) aliases to burst
+  boundaries ("out-of-order clustering of uops, which causes uops to be
+  retired in bursts", Section 5.1).
+* **Stalls / shadow** — latency beyond what the out-of-order window hides
+  delays the stalling instruction's retirement, so it occupies the head of
+  the retirement queue for many cycles and soaks up imprecise samples,
+  starving the instructions in its shadow (Chen et al.'s shadow effect,
+  Section 3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cpu.uarch import Microarchitecture
+
+
+def retirement_cycles(
+    latency_classes: np.ndarray,
+    uarch: Microarchitecture,
+    mispredict_positions: np.ndarray | None = None,
+) -> np.ndarray:
+    """Retirement cycle of each instruction (int64, non-decreasing).
+
+    Parameters
+    ----------
+    latency_classes:
+        int8 array of :class:`~repro.isa.opcodes.LatencyClass` values per
+        retired instruction (from :attr:`repro.cpu.trace.Trace.latency_classes`).
+    uarch:
+        The machine whose latency table and retire width to apply.
+    mispredict_positions:
+        Trace indices of mispredicted branches; the pipeline-refill bubble
+        (``uarch.mispredict_penalty_cycles``) delays the instruction
+        *following* each one.
+    """
+    stalls = uarch.visible_stall_lut()[latency_classes].astype(np.int64)
+    if (mispredict_positions is not None
+            and uarch.mispredict_penalty_cycles > 0):
+        after = mispredict_positions + 1
+        after = after[after < stalls.size]
+        np.add.at(stalls, after, uarch.mispredict_penalty_cycles)
+    cycles = np.arange(latency_classes.size, dtype=np.int64)
+    cycles //= uarch.retire_width
+    cycles += np.cumsum(stalls)
+    return cycles
+
+
+def head_occupancy(retire_cycle: np.ndarray) -> np.ndarray:
+    """Cycles each instruction spends as next-to-retire (int64).
+
+    The imprecise-sampling bias is proportional to this: an instruction is
+    reported by a PMI delivered at cycle ``c`` iff it is the first
+    instruction with ``retire_cycle >= c``.
+    """
+    occ = np.empty_like(retire_cycle)
+    occ[0] = retire_cycle[0] + 1
+    np.subtract(retire_cycle[1:], retire_cycle[:-1], out=occ[1:])
+    return occ
+
+
+def next_to_retire(retire_cycle: np.ndarray, cycles: np.ndarray) -> np.ndarray:
+    """Index of the next-to-retire instruction at each query cycle.
+
+    Queries past the end of the trace yield ``len(retire_cycle)`` (callers
+    drop those samples, mirroring a PMI landing after the program exits).
+    """
+    return np.searchsorted(retire_cycle, cycles, side="left")

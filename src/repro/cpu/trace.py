@@ -1,0 +1,201 @@
+"""Dynamic instruction traces.
+
+A :class:`Trace` expands a dynamic block sequence into per-instruction numpy
+arrays (addresses, latency classes, uop counts, taken-branch records) without
+Python-level loops. It is microarchitecture-independent: the same trace is
+reused across all three simulated machines, which only differ in retirement
+timing and PMU features.
+
+All derived arrays are ``functools.cached_property`` values so that unused
+views cost nothing.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.isa.block import BlockKind
+from repro.isa.program import Program
+
+_ALWAYS_TAKEN_KINDS = np.array(
+    [int(BlockKind.JMP), int(BlockKind.CALL), int(BlockKind.ICALL),
+     int(BlockKind.RET)],
+    dtype=np.int8,
+)
+
+
+class Trace:
+    """Per-instruction view of one program execution.
+
+    Parameters
+    ----------
+    program:
+        The finalized program that was executed.
+    block_seq:
+        Dynamic block-index sequence from the interpreter.
+    """
+
+    def __init__(self, program: Program, block_seq: np.ndarray) -> None:
+        if block_seq.size == 0:
+            raise ExecutionError("cannot build a trace from an empty execution")
+        self.program = program
+        self.block_seq = np.ascontiguousarray(block_seq, dtype=np.int32)
+
+    # -- block-occurrence level -------------------------------------------
+
+    @cached_property
+    def occurrence_sizes(self) -> np.ndarray:
+        """Instructions per dynamic block occurrence (int64)."""
+        return self.program.tables.block_sizes[self.block_seq].astype(np.int64)
+
+    @cached_property
+    def occurrence_starts(self) -> np.ndarray:
+        """Trace index of the first instruction of each occurrence (int64)."""
+        sizes = self.occurrence_sizes
+        starts = np.empty_like(sizes)
+        starts[0] = 0
+        np.cumsum(sizes[:-1], out=starts[1:])
+        return starts
+
+    @cached_property
+    def num_instructions(self) -> int:
+        """Total retired instructions."""
+        return int(self.occurrence_sizes.sum())
+
+    @cached_property
+    def occurrence_taken(self) -> np.ndarray:
+        """Whether each occurrence ends in a *taken* branch (bool).
+
+        Unconditional transfers (JMP/CALL/ICALL/RET) are always taken;
+        conditional branches are taken iff the next occurrence is not the
+        static fall-through successor. The final occurrence is marked not
+        taken because it has no successor to record a target from.
+        """
+        tables = self.program.tables
+        seq = self.block_seq
+        kinds = tables.block_kind[seq]
+        taken = np.isin(kinds, _ALWAYS_TAKEN_KINDS)
+        cond = kinds == int(BlockKind.COND)
+        if cond.any():
+            nxt = np.empty_like(seq)
+            nxt[:-1] = seq[1:]
+            nxt[-1] = -1
+            taken = taken | (cond & (nxt != tables.fall_next[seq]))
+        taken[-1] = False
+        return taken
+
+    # -- instruction level ---------------------------------------------------
+
+    @cached_property
+    def instr_block(self) -> np.ndarray:
+        """Block index of each retired instruction (int32)."""
+        return np.repeat(self.block_seq, self.occurrence_sizes)
+
+    @cached_property
+    def _pool_index(self) -> np.ndarray:
+        """Index of each retired instruction in the static pools (int64)."""
+        tables = self.program.tables
+        sizes = self.occurrence_sizes
+        # Position within the owning block occurrence.
+        within = np.arange(self.num_instructions, dtype=np.int64)
+        within -= np.repeat(self.occurrence_starts, sizes)
+        return np.repeat(
+            tables.instr_offset[self.block_seq], sizes
+        ) + within
+
+    @cached_property
+    def addresses(self) -> np.ndarray:
+        """Virtual address of each retired instruction (int64)."""
+        return self.program.tables.pool_addr[self._pool_index]
+
+    @cached_property
+    def latency_classes(self) -> np.ndarray:
+        """Latency class of each retired instruction (int8)."""
+        return self.program.tables.pool_latclass[self._pool_index]
+
+    @cached_property
+    def uops(self) -> np.ndarray:
+        """Uop count of each retired instruction (int16)."""
+        return self.program.tables.pool_uops[self._pool_index]
+
+    @cached_property
+    def cumulative_uops(self) -> np.ndarray:
+        """Inclusive cumulative uop count per instruction (int64)."""
+        return np.cumsum(self.uops, dtype=np.int64)
+
+    # -- taken-branch records (the LBR's raw material) -----------------------
+
+    @cached_property
+    def taken_mask(self) -> np.ndarray:
+        """Bool per instruction: retired as a taken branch."""
+        mask = np.zeros(self.num_instructions, dtype=bool)
+        ends = self.occurrence_starts + self.occurrence_sizes - 1
+        mask[ends[self.occurrence_taken]] = True
+        return mask
+
+    @cached_property
+    def cumulative_taken(self) -> np.ndarray:
+        """Inclusive cumulative taken-branch count per instruction (int64)."""
+        return np.cumsum(self.taken_mask, dtype=np.int64)
+
+    @cached_property
+    def taken_positions(self) -> np.ndarray:
+        """Trace indices of taken branches, ascending (int64)."""
+        ends = self.occurrence_starts + self.occurrence_sizes - 1
+        return ends[self.occurrence_taken]
+
+    @cached_property
+    def taken_sources(self) -> np.ndarray:
+        """Source address of each taken branch (int64)."""
+        return self.addresses[self.taken_positions]
+
+    @cached_property
+    def taken_targets(self) -> np.ndarray:
+        """Target address of each taken branch (int64).
+
+        The target is the start address of the *next* block occurrence.
+        """
+        tables = self.program.tables
+        occ_idx = np.flatnonzero(self.occurrence_taken)
+        return tables.block_start_addr[self.block_seq[occ_idx + 1]]
+
+    @cached_property
+    def num_taken_branches(self) -> int:
+        """Total taken branches retired."""
+        return int(self.taken_positions.size)
+
+    # -- exact reference counts (the "REF" ground truth) ---------------------
+
+    @cached_property
+    def block_exec_counts(self) -> np.ndarray:
+        """Exact execution count per basic block (int64)."""
+        return np.bincount(
+            self.block_seq, minlength=self.program.num_blocks
+        ).astype(np.int64)
+
+    @cached_property
+    def block_instr_counts(self) -> np.ndarray:
+        """Exact retired-instruction count per basic block (int64)."""
+        return self.block_exec_counts * self.program.tables.block_sizes
+
+    # -- summary -------------------------------------------------------------
+
+    def instructions_per_taken_branch(self) -> float:
+        """Average retired instructions per taken branch.
+
+        The paper (Section 2.3, citing Yasin et al.) characterises enterprise
+        code by ratios around 6-12; workload tests assert on this.
+        """
+        taken = self.num_taken_branches
+        if taken == 0:
+            return float("inf")
+        return self.num_instructions / taken
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Trace {self.program.name!r}: {self.block_seq.size} block "
+            f"occurrences, {self.num_instructions} instructions>"
+        )

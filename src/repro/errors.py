@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised deliberately by this library derive from :class:`ReproError`
+so callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ProgramError(ReproError):
+    """A program (ISA-level) is malformed: bad CFG, dangling labels, etc."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while interpreting a program (fuel exhausted, bad jump)."""
+
+
+class PMUConfigError(ReproError):
+    """An event/counter/sampling configuration is invalid for the target uarch."""
+
+
+class WorkloadError(ReproError):
+    """A workload cannot be constructed with the requested parameters."""
+
+
+class AnalysisError(ReproError):
+    """Profiles being compared are incompatible (different programs, empty)."""

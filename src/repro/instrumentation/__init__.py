@@ -1,0 +1,5 @@
+"""Exact reference instrumentation (the paper's Pin-based "REF" method)."""
+
+from repro.instrumentation.reference import ReferenceCounts, collect_reference
+
+__all__ = ["ReferenceCounts", "collect_reference"]

@@ -1,0 +1,41 @@
+"""Synthetic instruction set used by all simulated workloads.
+
+The ISA is deliberately small: enough integer semantics to drive control flow
+(loop counters, data-dependent branches, indirect dispatch) plus timing-only
+floating-point / memory instruction classes that let workloads reproduce the
+latency structure the paper's kernels rely on (e.g. the long-latency divide in
+the Latency-Biased kernel).
+
+Public API:
+
+* :class:`~repro.isa.opcodes.Opcode`, :class:`~repro.isa.opcodes.LatencyClass`
+* :class:`~repro.isa.instruction.Instruction`
+* :class:`~repro.isa.block.BasicBlock`, :class:`~repro.isa.block.BlockKind`
+* :class:`~repro.isa.function.Function`
+* :class:`~repro.isa.program.Program`
+* :class:`~repro.isa.builder.ProgramBuilder`
+"""
+
+from repro.isa.opcodes import Opcode, LatencyClass, OPCODE_INFO, OpcodeInfo
+from repro.isa.instruction import Instruction
+from repro.isa.block import BasicBlock, BlockKind
+from repro.isa.function import Function
+from repro.isa.program import Program
+from repro.isa.builder import ProgramBuilder, FunctionBuilder
+from repro.isa.disasm import disassemble, disassemble_block
+
+__all__ = [
+    "disassemble",
+    "disassemble_block",
+    "Opcode",
+    "LatencyClass",
+    "OpcodeInfo",
+    "OPCODE_INFO",
+    "Instruction",
+    "BasicBlock",
+    "BlockKind",
+    "Function",
+    "Program",
+    "ProgramBuilder",
+    "FunctionBuilder",
+]

@@ -1,0 +1,132 @@
+"""Basic blocks of the synthetic ISA.
+
+A basic block is a maximal straight-line instruction sequence. Its *kind*
+(derived from the last instruction) tells the interpreter how control leaves
+the block:
+
+* ``FALL``  - no terminator; execution falls through to the next block in
+  layout order (the block boundary exists because another edge targets the
+  successor). The last instruction is *not* a branch.
+* ``JMP``   - unconditional jump (always a taken branch).
+* ``COND``  - conditional branch: taken -> ``taken_label``, not taken ->
+  fall-through successor, which must be laid out immediately after this block.
+* ``CALL`` / ``ICALL`` - call; execution continues at the fall-through block
+  after the callee returns.
+* ``RET``   - return to the caller's continuation block.
+* ``HALT``  - stop the machine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ProgramError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+class BlockKind(enum.IntEnum):
+    """How control leaves a basic block (see module docstring)."""
+
+    FALL = 0
+    JMP = 1
+    COND = 2
+    CALL = 3
+    ICALL = 4
+    RET = 5
+    HALT = 6
+
+
+_TERMINATOR_KINDS = {
+    Opcode.JMP: BlockKind.JMP,
+    Opcode.CALL: BlockKind.CALL,
+    Opcode.ICALL: BlockKind.ICALL,
+    Opcode.RET: BlockKind.RET,
+    Opcode.HALT: BlockKind.HALT,
+}
+
+
+@dataclass
+class BasicBlock:
+    """A basic block: a label plus a straight-line instruction list."""
+
+    label: str
+    instructions: list[Instruction] = field(default_factory=list)
+    #: Name of the owning function; set when the block is added to one.
+    function: str = ""
+    #: Dense integer id across the whole program; set at layout time.
+    index: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ProgramError("basic block label must be non-empty")
+
+    # -- structural properties -------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of instructions in the block."""
+        return len(self.instructions)
+
+    @property
+    def byte_size(self) -> int:
+        """Encoded size in bytes."""
+        return sum(instr.size for instr in self.instructions)
+
+    @property
+    def terminator(self) -> Instruction | None:
+        """The final control-transfer instruction, or ``None`` (FALL block)."""
+        if self.instructions and self.instructions[-1].is_branch:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def kind(self) -> BlockKind:
+        """The block kind, derived from the terminator opcode."""
+        term = self.terminator
+        if term is None:
+            return BlockKind.FALL
+        if term.is_conditional:
+            return BlockKind.COND
+        return _TERMINATOR_KINDS[term.opcode]
+
+    @property
+    def taken_label(self) -> str | None:
+        """Label of the taken-successor block (JMP/COND), else ``None``."""
+        term = self.terminator
+        if term is None:
+            return None
+        if term.opcode is Opcode.JMP or term.is_conditional:
+            return term.target
+        return None
+
+    @property
+    def start_address(self) -> int:
+        """Address of the first instruction (layout must have run)."""
+        if not self.instructions:
+            raise ProgramError(f"block {self.label!r} is empty")
+        return self.instructions[0].address
+
+    @property
+    def end_address(self) -> int:
+        """Address one past the last instruction (layout must have run)."""
+        last = self.instructions[-1]
+        return last.address + last.size
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check internal well-formedness (non-empty, branches only at end)."""
+        if not self.instructions:
+            raise ProgramError(f"block {self.label!r} is empty")
+        for instr in self.instructions[:-1]:
+            if instr.is_branch:
+                raise ProgramError(
+                    f"block {self.label!r}: branch {instr.opcode.name} "
+                    "before the final instruction"
+                )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        body = "\n".join(f"  {instr}" for instr in self.instructions)
+        return f"{self.label}:\n{body}"

@@ -1,0 +1,71 @@
+"""Program disassembler: human-readable listings of synthetic-ISA code.
+
+Used by examples and debugging sessions to inspect generated workloads the
+way one would read ``objdump`` output next to a profile.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+from repro.isa.block import BasicBlock
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+
+def format_operands(instr: Instruction) -> str:
+    """Render an instruction's operands in a compact assembly style."""
+    op = instr.opcode
+    parts: list[str] = []
+    if instr.dst is not None:
+        parts.append(f"r{instr.dst}")
+    if instr.src1 is not None:
+        parts.append(f"r{instr.src1}")
+    if instr.src2 is not None:
+        parts.append(f"r{instr.src2}")
+    if instr.imm is not None:
+        parts.append(f"#{instr.imm}")
+    if op is Opcode.CALL:
+        parts.append(str(instr.target))
+    elif instr.target is not None:
+        parts.append(f"-> {instr.target}")
+    if instr.itable is not None:
+        parts.append("[" + ", ".join(instr.itable) + "]")
+    return ", ".join(parts)
+
+
+def format_instruction(instr: Instruction) -> str:
+    """One listing line for an instruction (address, mnemonic, operands)."""
+    addr = f"{instr.address:#010x}" if instr.address >= 0 else "????????"
+    mnemonic = instr.opcode.name.lower()
+    operands = format_operands(instr)
+    return f"  {addr}:  {mnemonic:8s} {operands}".rstrip()
+
+
+def disassemble_block(block: BasicBlock) -> str:
+    """Listing of one basic block."""
+    lines = [f"{block.label}:  ; {block.kind.name.lower()} block, "
+             f"{block.size} instructions"]
+    lines.extend(format_instruction(i) for i in block.instructions)
+    return "\n".join(lines)
+
+
+def disassemble(program: Program, function: str | None = None) -> str:
+    """Listing of a whole program (or one function).
+
+    The program must be finalized so addresses exist.
+    """
+    if not program.finalized:
+        raise ProgramError("finalize the program before disassembling")
+    functions = (
+        [program.function(function)] if function is not None
+        else program.functions
+    )
+    chunks = []
+    for func in functions:
+        header = (f"; function {func.name} "
+                  f"({len(func.blocks)} blocks, "
+                  f"{func.instruction_count} instructions)")
+        body = "\n".join(disassemble_block(b) for b in func.blocks)
+        chunks.append(f"{header}\n{body}")
+    return "\n\n".join(chunks)

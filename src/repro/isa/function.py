@@ -1,0 +1,70 @@
+"""Functions: ordered collections of basic blocks with one entry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProgramError
+from repro.isa.block import BasicBlock, BlockKind
+
+
+@dataclass
+class Function:
+    """A function is an ordered block list; the first block is the entry.
+
+    Block order is significant: it is the layout order, and fall-through
+    edges (FALL blocks, not-taken conditional branches, call continuations)
+    always go to the *next* block in this order.
+    """
+
+    name: str
+    blocks: list[BasicBlock] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProgramError("function name must be non-empty")
+
+    @property
+    def entry(self) -> BasicBlock:
+        """The entry block (first in layout order)."""
+        if not self.blocks:
+            raise ProgramError(f"function {self.name!r} has no blocks")
+        return self.blocks[0]
+
+    @property
+    def instruction_count(self) -> int:
+        """Total static instruction count."""
+        return sum(block.size for block in self.blocks)
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        """Append ``block``, claiming it for this function."""
+        if block.function and block.function != self.name:
+            raise ProgramError(
+                f"block {block.label!r} already belongs to {block.function!r}"
+            )
+        block.function = self.name
+        self.blocks.append(block)
+        return block
+
+    def validate(self) -> None:
+        """Check per-function invariants (delegates per-block checks too)."""
+        if not self.blocks:
+            raise ProgramError(f"function {self.name!r} has no blocks")
+        seen: set[str] = set()
+        for block in self.blocks:
+            if block.label in seen:
+                raise ProgramError(
+                    f"function {self.name!r}: duplicate block {block.label!r}"
+                )
+            seen.add(block.label)
+            block.validate()
+        last = self.blocks[-1]
+        if last.kind in (BlockKind.FALL, BlockKind.COND, BlockKind.CALL,
+                         BlockKind.ICALL):
+            raise ProgramError(
+                f"function {self.name!r}: final block {last.label!r} "
+                f"falls through past the end of the function"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"func {self.name} ({len(self.blocks)} blocks)"

@@ -1,0 +1,340 @@
+"""Whole-program container: layout, validation, and static lookup tables.
+
+A :class:`Program` owns an ordered list of functions plus an optional data
+segment. ``layout()`` assigns every basic block a dense integer index and
+every instruction a virtual address, then builds the flat numpy "pools" the
+CPU and PMU layers use to expand a dynamic block sequence into per-instruction
+arrays without Python loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProgramError
+from repro.isa.block import BasicBlock, BlockKind
+from repro.isa.function import Function
+from repro.isa.opcodes import info
+
+#: Functions are placed at addresses aligned to this boundary, mirroring how
+#: linkers align code sections. The gaps also make cross-function
+#: address-range confusion detectable.
+FUNCTION_ALIGNMENT = 0x100
+
+#: Base address of the first function.
+BASE_ADDRESS = 0x40_0000
+
+
+@dataclass
+class StaticTables:
+    """Flat numpy views of a laid-out program (all indexed by block index or
+    by position in the static instruction pool)."""
+
+    # Per-block arrays, length = number of blocks.
+    block_sizes: np.ndarray          # int32: instructions per block
+    block_start_addr: np.ndarray     # int64: address of first instruction
+    block_end_addr: np.ndarray       # int64: one past last instruction
+    block_kind: np.ndarray           # int8: BlockKind values
+    block_func: np.ndarray           # int32: owning function id
+    fall_next: np.ndarray            # int32: fall-through successor or -1
+    taken_target: np.ndarray         # int32: taken successor / callee entry or -1
+    instr_offset: np.ndarray         # int64: offset of block's first instr in pools
+
+    # Per-instruction pools, length = total static instructions.
+    pool_addr: np.ndarray            # int64
+    pool_latclass: np.ndarray        # int8: LatencyClass values
+    pool_uops: np.ndarray            # int16
+    pool_is_branch: np.ndarray       # bool: control-transfer instruction
+
+
+class Program:
+    """An executable synthetic-ISA program."""
+
+    def __init__(
+        self,
+        name: str,
+        functions: list[Function] | None = None,
+        entry: str | None = None,
+        data: np.ndarray | None = None,
+    ) -> None:
+        if not name:
+            raise ProgramError("program name must be non-empty")
+        self.name = name
+        self.functions: list[Function] = list(functions or [])
+        self.entry = entry or (self.functions[0].name if self.functions else "")
+        self.data = (
+            np.asarray(data, dtype=np.int64)
+            if data is not None
+            else np.zeros(1, dtype=np.int64)
+        )
+        self._finalized = False
+        self._blocks: list[BasicBlock] = []
+        self._label_to_block: dict[str, BasicBlock] = {}
+        self._func_ids: dict[str, int] = {}
+        self._tables: StaticTables | None = None
+
+    # -- construction ------------------------------------------------------
+
+    def add_function(self, function: Function) -> Function:
+        """Append a function (layout order = call order of this method)."""
+        if self._finalized:
+            raise ProgramError("cannot modify a finalized program")
+        if any(f.name == function.name for f in self.functions):
+            raise ProgramError(f"duplicate function {function.name!r}")
+        self.functions.append(function)
+        if not self.entry:
+            self.entry = function.name
+        return function
+
+    # -- finalization --------------------------------------------------------
+
+    def finalize(self) -> "Program":
+        """Validate the program and compute layout tables. Idempotent."""
+        if self._finalized:
+            return self
+        self._index()
+        self._validate()
+        self._layout()
+        self._finalized = True
+        return self
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    def _index(self) -> None:
+        self._blocks = []
+        self._label_to_block = {}
+        self._func_ids = {}
+        for fid, func in enumerate(self.functions):
+            self._func_ids[func.name] = fid
+            for block in func.blocks:
+                if block.label in self._label_to_block:
+                    raise ProgramError(f"duplicate block label {block.label!r}")
+                self._label_to_block[block.label] = block
+                block.index = len(self._blocks)
+                self._blocks.append(block)
+
+    def _validate(self) -> None:
+        if not self.functions:
+            raise ProgramError(f"program {self.name!r} has no functions")
+        if self.entry not in self._func_ids:
+            raise ProgramError(f"entry function {self.entry!r} not defined")
+        if self.data.ndim != 1 or self.data.size == 0:
+            raise ProgramError("data segment must be a non-empty 1-D array")
+        for func in self.functions:
+            func.validate()
+            self._validate_edges(func)
+
+    def _validate_edges(self, func: Function) -> None:
+        for pos, block in enumerate(func.blocks):
+            kind = block.kind
+            needs_fallthrough = kind in (
+                BlockKind.FALL, BlockKind.COND, BlockKind.CALL, BlockKind.ICALL
+            )
+            if needs_fallthrough:
+                if pos + 1 >= len(func.blocks):
+                    raise ProgramError(
+                        f"block {block.label!r} needs a fall-through successor"
+                    )
+                nxt = func.blocks[pos + 1]
+            else:
+                nxt = None
+            term = block.terminator
+            if kind in (BlockKind.JMP, BlockKind.COND):
+                assert term is not None and term.target is not None
+                target = self._label_to_block.get(term.target)
+                if target is None:
+                    raise ProgramError(
+                        f"block {block.label!r}: unknown target {term.target!r}"
+                    )
+                if target.function != func.name:
+                    raise ProgramError(
+                        f"block {block.label!r}: branch target "
+                        f"{term.target!r} is in another function"
+                    )
+                if kind is BlockKind.COND and nxt is not None \
+                        and target.label == nxt.label:
+                    raise ProgramError(
+                        f"block {block.label!r}: conditional branch target "
+                        "equals its fall-through successor"
+                    )
+            elif kind is BlockKind.CALL:
+                assert term is not None
+                if term.target not in {f.name for f in self.functions}:
+                    raise ProgramError(
+                        f"block {block.label!r}: unknown callee {term.target!r}"
+                    )
+            elif kind is BlockKind.ICALL:
+                assert term is not None
+                if not term.itable:
+                    raise ProgramError(
+                        f"block {block.label!r}: ICALL with empty table"
+                    )
+                names = {f.name for f in self.functions}
+                for callee in term.itable:
+                    if callee not in names:
+                        raise ProgramError(
+                            f"block {block.label!r}: unknown indirect callee "
+                            f"{callee!r}"
+                        )
+
+    def _layout(self) -> None:
+        nblocks = len(self._blocks)
+        total_instrs = sum(b.size for b in self._blocks)
+
+        block_sizes = np.zeros(nblocks, dtype=np.int32)
+        block_start = np.zeros(nblocks, dtype=np.int64)
+        block_end = np.zeros(nblocks, dtype=np.int64)
+        block_kind = np.zeros(nblocks, dtype=np.int8)
+        block_func = np.zeros(nblocks, dtype=np.int32)
+        fall_next = np.full(nblocks, -1, dtype=np.int32)
+        taken_target = np.full(nblocks, -1, dtype=np.int32)
+        instr_offset = np.zeros(nblocks, dtype=np.int64)
+
+        pool_addr = np.zeros(total_instrs, dtype=np.int64)
+        pool_latclass = np.zeros(total_instrs, dtype=np.int8)
+        pool_uops = np.zeros(total_instrs, dtype=np.int16)
+        pool_is_branch = np.zeros(total_instrs, dtype=bool)
+
+        addr = BASE_ADDRESS
+        pool_pos = 0
+        for func in self.functions:
+            # Align each function start.
+            rem = addr % FUNCTION_ALIGNMENT
+            if rem:
+                addr += FUNCTION_ALIGNMENT - rem
+            fid = self._func_ids[func.name]
+            for pos, block in enumerate(func.blocks):
+                b = block.index
+                block_sizes[b] = block.size
+                block_kind[b] = int(block.kind)
+                block_func[b] = fid
+                instr_offset[b] = pool_pos
+                block_start[b] = addr
+                for instr in block.instructions:
+                    instr.address = addr
+                    inf = info(instr.opcode)
+                    pool_addr[pool_pos] = addr
+                    pool_latclass[pool_pos] = int(inf.latency)
+                    pool_uops[pool_pos] = inf.uops
+                    pool_is_branch[pool_pos] = inf.is_branch
+                    addr += instr.size
+                    pool_pos += 1
+                block_end[b] = addr
+
+                kind = block.kind
+                if kind in (BlockKind.FALL, BlockKind.COND, BlockKind.CALL,
+                            BlockKind.ICALL):
+                    fall_next[b] = func.blocks[pos + 1].index
+                if kind in (BlockKind.JMP, BlockKind.COND):
+                    term = block.terminator
+                    assert term is not None and term.target is not None
+                    taken_target[b] = self._label_to_block[term.target].index
+                elif kind is BlockKind.CALL:
+                    term = block.terminator
+                    assert term is not None and term.target is not None
+                    callee = self.function(term.target)
+                    taken_target[b] = callee.entry.index
+
+        self._tables = StaticTables(
+            block_sizes=block_sizes,
+            block_start_addr=block_start,
+            block_end_addr=block_end,
+            block_kind=block_kind,
+            block_func=block_func,
+            fall_next=fall_next,
+            taken_target=taken_target,
+            instr_offset=instr_offset,
+            pool_addr=pool_addr,
+            pool_latclass=pool_latclass,
+            pool_uops=pool_uops,
+            pool_is_branch=pool_is_branch,
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def _require_finalized(self) -> None:
+        if not self._finalized:
+            raise ProgramError("program is not finalized; call finalize()")
+
+    @property
+    def tables(self) -> StaticTables:
+        """The static numpy lookup tables (requires finalization)."""
+        self._require_finalized()
+        assert self._tables is not None
+        return self._tables
+
+    @property
+    def blocks(self) -> list[BasicBlock]:
+        """All blocks in layout order (requires finalization)."""
+        self._require_finalized()
+        return self._blocks
+
+    @property
+    def num_blocks(self) -> int:
+        self._require_finalized()
+        return len(self._blocks)
+
+    @property
+    def static_instruction_count(self) -> int:
+        """Total static (not dynamic) instruction count."""
+        self._require_finalized()
+        return int(self.tables.pool_addr.size)
+
+    def function(self, name: str) -> Function:
+        """Look a function up by name."""
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise ProgramError(f"no function named {name!r}")
+
+    def function_id(self, name: str) -> int:
+        """Dense id of a function (requires finalization)."""
+        self._require_finalized()
+        try:
+            return self._func_ids[name]
+        except KeyError:
+            raise ProgramError(f"no function named {name!r}") from None
+
+    def function_names(self) -> list[str]:
+        """Function names in layout order."""
+        return [f.name for f in self.functions]
+
+    def block(self, label: str) -> BasicBlock:
+        """Look a block up by label (requires finalization)."""
+        self._require_finalized()
+        try:
+            return self._label_to_block[label]
+        except KeyError:
+            raise ProgramError(f"no block labelled {label!r}") from None
+
+    def block_index_at(self, address: int) -> int:
+        """Return the index of the block containing ``address``.
+
+        Raises :class:`ProgramError` if the address falls in an alignment gap
+        or outside the program.
+        """
+        tables = self.tables
+        pos = int(np.searchsorted(tables.block_start_addr, address, side="right")) - 1
+        if pos < 0 or address >= tables.block_end_addr[pos]:
+            raise ProgramError(f"address {address:#x} maps to no block")
+        return pos
+
+    def block_indices_at(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`block_index_at`; unmapped addresses yield -1."""
+        tables = self.tables
+        pos = np.searchsorted(tables.block_start_addr, addresses, side="right") - 1
+        pos = pos.astype(np.int64)
+        bad = (pos < 0) | (addresses >= tables.block_end_addr[np.maximum(pos, 0)])
+        pos[bad] = -1
+        return pos
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finalized" if self._finalized else "building"
+        return (
+            f"<Program {self.name!r}: {len(self.functions)} functions, "
+            f"{state}>"
+        )

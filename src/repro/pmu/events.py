@@ -1,0 +1,127 @@
+"""Performance-event definitions, per microarchitecture.
+
+Event names follow each vendor's nomenclature as used in Section 4.2 of the
+paper. An event couples *what is counted* (:class:`EventKind`) with *how the
+triggering location is captured* (:class:`Precision`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import PMUConfigError
+from repro.cpu.uarch import Microarchitecture
+
+
+class EventKind(enum.Enum):
+    """What the counter counts."""
+
+    INSTRUCTIONS = "instructions"
+    UOPS = "uops"
+    TAKEN_BRANCHES = "taken_branches"
+
+
+class Precision(enum.Enum):
+    """How the sample address is captured on overflow."""
+
+    IMPRECISE = "imprecise"   # PMI after variable skid
+    PEBS = "pebs"             # precise capture, burst-aliased distribution
+    PDIR = "pdir"             # precise and precisely distributed
+    IBS = "ibs"               # AMD: precise tagging at uop granularity
+
+
+@dataclass(frozen=True)
+class Event:
+    """A programmable (or fixed) performance event."""
+
+    name: str
+    kind: EventKind
+    precision: Precision
+    #: Counts on the architectural fixed counter (frees general counters;
+    #: the "classic" method's default home on Intel).
+    fixed_counter: bool = False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_WESTMERE_EVENTS = (
+    Event("INST_RETIRED.ANY", EventKind.INSTRUCTIONS, Precision.IMPRECISE,
+          fixed_counter=True),
+    Event("INST_RETIRED.ALL", EventKind.INSTRUCTIONS, Precision.PEBS),
+    Event("BR_INST_EXEC.TAKEN", EventKind.TAKEN_BRANCHES, Precision.IMPRECISE),
+)
+
+_IVY_BRIDGE_EVENTS = (
+    Event("INST_RETIRED.ANY", EventKind.INSTRUCTIONS, Precision.IMPRECISE,
+          fixed_counter=True),
+    Event("INST_RETIRED.ALL", EventKind.INSTRUCTIONS, Precision.PEBS),
+    Event("INST_RETIRED.PREC_DIST", EventKind.INSTRUCTIONS, Precision.PDIR),
+    Event("BR_INST_RETIRED.NEAR_TAKEN", EventKind.TAKEN_BRANCHES,
+          Precision.IMPRECISE),
+)
+
+_MAGNY_COURS_EVENTS = (
+    Event("RETIRED_INSTRUCTIONS", EventKind.INSTRUCTIONS, Precision.IMPRECISE),
+    Event("IBS_OP", EventKind.UOPS, Precision.IBS),
+    Event("RETIRED_TAKEN_BRANCHES", EventKind.TAKEN_BRANCHES,
+          Precision.IMPRECISE),
+)
+
+_CATALOGS: dict[str, tuple[Event, ...]] = {
+    "westmere": _WESTMERE_EVENTS,
+    "ivybridge": _IVY_BRIDGE_EVENTS,
+    "magnycours": _MAGNY_COURS_EVENTS,
+}
+
+
+def event_catalog(uarch: Microarchitecture) -> tuple[Event, ...]:
+    """All events the given machine exposes."""
+    try:
+        return _CATALOGS[uarch.name]
+    except KeyError:
+        raise PMUConfigError(f"no event catalog for uarch {uarch.name!r}") from None
+
+
+def get_event(uarch: Microarchitecture, name: str) -> Event:
+    """Look an event up by vendor name on a given machine."""
+    for event in event_catalog(uarch):
+        if event.name == name:
+            return event
+    known = ", ".join(e.name for e in event_catalog(uarch))
+    raise PMUConfigError(
+        f"{uarch.name} has no event {name!r} (known: {known})"
+    )
+
+
+def validate_event(uarch: Microarchitecture, event: Event) -> None:
+    """Check that ``event`` is implementable on ``uarch``."""
+    if event.precision is Precision.PEBS and not uarch.has_pebs:
+        raise PMUConfigError(f"{uarch.name} has no PEBS")
+    if event.precision is Precision.PDIR and not uarch.has_pdir:
+        raise PMUConfigError(f"{uarch.name} has no precisely distributed event")
+    if event.precision is Precision.IBS and not uarch.has_ibs:
+        raise PMUConfigError(f"{uarch.name} has no IBS")
+    if event.fixed_counter and not uarch.has_fixed_counter:
+        raise PMUConfigError(f"{uarch.name} has no fixed architectural counter")
+
+
+def taken_branches_event(uarch: Microarchitecture) -> Event:
+    """The retired-taken-branches event used for LBR sampling."""
+    for event in event_catalog(uarch):
+        if event.kind is EventKind.TAKEN_BRANCHES:
+            return event
+    raise PMUConfigError(f"{uarch.name} has no taken-branches event")
+
+
+def instructions_event(
+    uarch: Microarchitecture, precision: Precision
+) -> Event:
+    """The retired-instructions event with the requested precision."""
+    for event in event_catalog(uarch):
+        if event.kind is EventKind.INSTRUCTIONS and event.precision is precision:
+            return event
+    raise PMUConfigError(
+        f"{uarch.name} has no {precision.value} instructions event"
+    )

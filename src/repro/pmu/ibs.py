@@ -1,0 +1,70 @@
+"""AMD Instruction Based Sampling (IBS) capture model.
+
+IBS is AMD's precise mechanism, but — as Section 6.2 of the paper notes — it
+lacks a precise *instruction* event, so sampling happens at **uop**
+granularity: the PMU tags the uop whose dispatch overflowed the counter and
+reports the instruction that owns it. Three consequences:
+
+* Multi-uop instructions (divides, microcoded ops) soak up proportionally
+  more samples, biasing per-block *instruction*-count estimates even though
+  each individual sample is "precise".
+* Tagging happens at dispatch, and dispatch back-pressure during retirement
+  stalls shifts tag selection toward post-stall uops; we model this as a
+  short arming window after the triggering uop, analogous to the PEBS
+  assist's (see :mod:`repro.pmu.pebs`), which parks captures on stalling
+  instructions.
+* First-generation IBS selects the tagged op within the *dispatch group*
+  that crosses the threshold, so tag ordinals quantize to group leaders;
+  small blocks whose uops never align with a group leader are permanently
+  starved (or doubled) in periodic code.
+
+The paper additionally observes that AMD error rates *worsen* when the
+built-in 4-LSB period randomization is enabled. Our mechanism: the hardware
+replaces the low period bits, destroying a prime period's primality and
+re-admitting resonant (round) period values part of the time (see
+:mod:`repro.pmu.periods` and DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def capture_ibs(
+    thresholds: np.ndarray,
+    cumulative_uops: np.ndarray,
+    retire_cycles: np.ndarray,
+    arming_cycles: int = 2,
+    dispatch_group: int = 4,
+    quantize: bool = True,
+) -> np.ndarray:
+    """Map uop-count overflow thresholds to reported instruction indices.
+
+    Parameters
+    ----------
+    thresholds:
+        1-based cumulative uop ordinals at which the counter overflowed.
+    cumulative_uops:
+        Inclusive per-instruction cumulative uop counts for the trace.
+    retire_cycles:
+        Per-instruction retirement cycles (for the arming window).
+    arming_cycles:
+        Tag-to-capture latency; the reported instruction is the first one
+        retiring after this window, so captures park on stalls.
+    dispatch_group:
+        Uop dispatch-group width of the machine.
+    quantize:
+        Snap tag selection to the start of the dispatch group containing
+        the threshold uop (first-generation IBS behaviour; on by default).
+
+    Returns int64 reported indices; values equal to ``len(retire_cycles)``
+    denote captures past the end of the trace (dropped by callers).
+    """
+    if quantize and dispatch_group > 1:
+        # Snap the tagged uop to its dispatch-group leader (1-based ordinals).
+        thresholds = (thresholds - 1) // dispatch_group * dispatch_group + 1
+    tagged = np.searchsorted(cumulative_uops, thresholds, side="left")
+    if arming_cycles <= 0:
+        return tagged
+    capture_cycle = retire_cycles[tagged] + arming_cycles
+    return np.searchsorted(retire_cycles, capture_cycle, side="right")

@@ -1,0 +1,95 @@
+"""Last Branch Record facility.
+
+The LBR is a fixed-depth hardware stack of ⟨source, target⟩ address pairs of
+the most recently retired taken branches, frozen when a PMI is delivered.
+Because branches between a recorded target ``T_i`` and the next recorded
+source ``S_{i+1}`` were *not* taken, every basic block in the address range
+``[T_i, S_{i+1}]`` executed exactly once (Section 3.2) — the property the
+full-LBR basic-block accounting method exploits.
+
+This module reconstructs LBR contents at arbitrary trace points from the
+trace's taken-branch tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PMUConfigError
+from repro.cpu.trace import Trace
+
+
+@dataclass(frozen=True)
+class LBRStack:
+    """One frozen LBR stack: parallel source/target arrays, oldest first."""
+
+    sources: np.ndarray
+    targets: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.sources.size)
+
+    @property
+    def top(self) -> tuple[int, int] | None:
+        """The newest ⟨source, target⟩ entry, or ``None`` if empty."""
+        if self.sources.size == 0:
+            return None
+        return int(self.sources[-1]), int(self.targets[-1])
+
+    def segments(self) -> list[tuple[int, int]]:
+        """Fall-through segments ⟨T_i, S_{i+1}⟩ between consecutive entries.
+
+        Each returned ``(target, source)`` pair bounds an address range in
+        which every basic block executed exactly once. A stack with N
+        entries yields N-1 segments.
+        """
+        if self.sources.size < 2:
+            return []
+        return [
+            (int(self.targets[i]), int(self.sources[i + 1]))
+            for i in range(self.sources.size - 1)
+        ]
+
+
+class LBRFacility:
+    """Reconstructs LBR stacks for a given trace and hardware depth."""
+
+    def __init__(self, trace: Trace, depth: int) -> None:
+        if depth <= 1:
+            raise PMUConfigError(f"LBR depth must be > 1, got {depth}")
+        self.trace = trace
+        self.depth = depth
+
+    def stack_ranges(
+        self, delivery_idx: np.ndarray, inclusive: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Index ranges into the trace's taken-branch tables per delivery.
+
+        For each delivery point ``d`` (an instruction trace index), the LBR
+        holds the last ``depth`` taken branches retired at positions
+        ``<= d`` (``inclusive=True``, a PMI freezing the stack after the
+        instruction retires) or ``< d`` (``inclusive=False``, a precise
+        record capturing state *before* the reported instruction executes —
+        its own branch, if any, is not yet recorded). Returns ``(start,
+        end)`` arrays: entry k of a sample is
+        ``trace.taken_sources[start:end]`` etc.
+        """
+        side = "right" if inclusive else "left"
+        end = np.searchsorted(
+            self.trace.taken_positions, delivery_idx, side=side
+        )
+        start = np.maximum(end - self.depth, 0)
+        return start, end
+
+    def stack_at(self, delivery_idx: int, inclusive: bool = True) -> LBRStack:
+        """The frozen stack for one delivery point."""
+        start, end = self.stack_ranges(
+            np.asarray([delivery_idx]), inclusive=inclusive
+        )
+        s, e = int(start[0]), int(end[0])
+        return LBRStack(
+            sources=self.trace.taken_sources[s:e],
+            targets=self.trace.taken_targets[s:e],
+        )

@@ -1,0 +1,72 @@
+"""Counter-overflow scheduling.
+
+Given a period schedule and the cumulative event counts of a trace, compute
+which retired instruction triggers each overflow. This is where period
+*synchronization* (error source 1 in Section 3.1) lives: with a fixed round
+period and a loop whose per-iteration event count divides it, every overflow
+lands on the same static instruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PMUConfigError
+from repro.cpu.trace import Trace
+from repro.pmu.events import EventKind
+from repro.pmu.periods import PeriodPolicy
+
+
+def total_events(kind: EventKind, trace: Trace) -> int:
+    """Total occurrences of an event kind over a whole trace."""
+    if kind is EventKind.INSTRUCTIONS:
+        return trace.num_instructions
+    if kind is EventKind.UOPS:
+        return int(trace.cumulative_uops[-1])
+    if kind is EventKind.TAKEN_BRANCHES:
+        return trace.num_taken_branches
+    raise PMUConfigError(f"unknown event kind {kind!r}")
+
+
+def overflow_thresholds(
+    policy: PeriodPolicy,
+    total: int,
+    rng: np.random.Generator,
+    phase: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative event counts at which the counter overflows.
+
+    Returns ``(thresholds, periods)`` where ``thresholds[k]`` is the ordinal
+    (1-based) of the event that causes the k-th overflow and ``periods[k]``
+    the period that preceded it. Only overflows within ``total`` events are
+    returned. ``phase`` shifts every threshold, modelling the arbitrary
+    alignment of the first period with the workload across runs.
+    """
+    if phase < 0:
+        raise PMUConfigError(f"phase must be >= 0, got {phase}")
+    if total <= 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    count = total // policy.min_period + 2
+    periods = policy.schedule(count, rng)
+    thresholds = np.cumsum(periods) + phase
+    keep = thresholds <= total
+    return thresholds[keep], periods[keep]
+
+
+def triggers_for(
+    kind: EventKind, trace: Trace, thresholds: np.ndarray
+) -> np.ndarray:
+    """Instruction trace-index that retires each overflow-triggering event.
+
+    For instruction counting this is simply ``threshold - 1``; for uops and
+    taken branches the thresholds are located in the trace's cumulative
+    event arrays.
+    """
+    if kind is EventKind.INSTRUCTIONS:
+        return thresholds - 1
+    if kind is EventKind.UOPS:
+        return np.searchsorted(trace.cumulative_uops, thresholds, side="left")
+    if kind is EventKind.TAKEN_BRANCHES:
+        return np.searchsorted(trace.cumulative_taken, thresholds, side="left")
+    raise PMUConfigError(f"unknown event kind {kind!r}")

@@ -1,0 +1,48 @@
+"""Precise Event Based Sampling capture models (PEBS and PDIR).
+
+PEBS removes the *variable* skid of an imprecise PMI: microcode records the
+architectural state itself, and the recorded IP is the instruction *after*
+the one that triggered the event (the well-known "IP+1" property the paper's
+offset fix addresses).
+
+PEBS without PDIR is still not *distributed* precisely: overflow detection
+works at cycle granularity, so when several instructions retire in one burst
+the capture aliases to the first instruction of a later cycle. Instructions
+in burst interiors are never captured — the paper's "out-of-order clustering
+of uops" effect on the Callchain kernel. ``INST_RETIRED.PREC_DIST`` (PDIR,
+Ivy Bridge onwards) removes that bias too: the captured instruction is
+exactly the next one in retirement order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def capture_pebs(
+    trigger_idx: np.ndarray,
+    retire_cycles: np.ndarray,
+    arming_cycles: int = 0,
+) -> np.ndarray:
+    """PEBS capture: first instruction retiring after the arming window.
+
+    The assist arms ``arming_cycles`` after overflow detection and records
+    the next qualifying instruction. In smoothly-retiring code this is a
+    small burst-aligned offset past the trigger; across a long stall the
+    capture parks on the stalling instruction (the PEBS shadow PDIR removes).
+
+    Returns int64 reported indices; values equal to ``len(retire_cycles)``
+    denote captures falling past the end of the trace (dropped by callers).
+    """
+    trigger_cycle = retire_cycles[trigger_idx] + arming_cycles
+    return np.searchsorted(retire_cycles, trigger_cycle, side="right")
+
+
+def capture_pdir(trigger_idx: np.ndarray, n_instructions: int) -> np.ndarray:
+    """PDIR capture: exactly the next instruction in retirement order.
+
+    Still reports "IP+1" (one past the trigger) but with a precisely uniform
+    distribution over retired instructions.
+    """
+    reported = trigger_idx + 1
+    return np.minimum(reported, n_instructions)

@@ -1,0 +1,124 @@
+"""Sampling-period policies.
+
+Table 3 of the paper distinguishes four period regimes:
+
+* fixed **round** periods (the classic default, e.g. 2,000,000),
+* fixed **prime** periods (e.g. 2,000,003) that avoid resonating with loop
+  trip counts,
+* **software-randomized** periods (perf lacked this at the time; the paper
+  recommends it),
+* AMD's **hardware randomization** of the 4 least-significant period bits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PMUConfigError
+
+
+class Randomization(enum.Enum):
+    """Period randomization regimes."""
+
+    NONE = "none"
+    SOFTWARE = "software"
+    HARDWARE_4LSB = "hardware_4lsb"
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test for small n (trial division)."""
+    if n < 2:
+        return False
+    if n % 2 == 0:
+        return n == 2
+    i = 3
+    while i * i <= n:
+        if n % i == 0:
+            return False
+        i += 2
+    return True
+
+
+def next_prime(n: int) -> int:
+    """The smallest prime >= n."""
+    candidate = max(2, n)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+@dataclass(frozen=True)
+class PeriodPolicy:
+    """How sampling periods are chosen, sample after sample.
+
+    Parameters
+    ----------
+    base:
+        The programmed period (events between overflows).
+    randomization:
+        ``NONE`` keeps the period fixed. ``SOFTWARE`` draws each period
+        uniformly from ``base ± base >> spread_shift`` (the tool-side
+        randomization the paper recommends). ``HARDWARE_4LSB`` replaces the
+        4 least-significant bits with a uniform draw, as Magny-Cours does —
+        note this destroys a prime period's primality.
+    spread_shift:
+        Width of the software-randomization window, as a right-shift of the
+        base period (3 -> ±12.5%).
+    """
+
+    base: int
+    randomization: Randomization = Randomization.NONE
+    spread_shift: int = 3
+
+    def __post_init__(self) -> None:
+        if self.base < 2:
+            raise PMUConfigError(f"period base must be >= 2, got {self.base}")
+        if self.spread_shift < 1:
+            raise PMUConfigError("spread_shift must be >= 1")
+        if (self.randomization is Randomization.HARDWARE_4LSB
+                and self.base < 32):
+            raise PMUConfigError(
+                "hardware 4-LSB randomization needs a base period >= 32"
+            )
+
+    @property
+    def min_period(self) -> int:
+        """Smallest period the policy can produce (for schedule sizing)."""
+        if self.randomization is Randomization.NONE:
+            return self.base
+        if self.randomization is Randomization.SOFTWARE:
+            return max(2, self.base - (self.base >> self.spread_shift))
+        return self.base & ~0xF
+
+    def schedule(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` consecutive periods (int64)."""
+        if count <= 0:
+            return np.zeros(0, dtype=np.int64)
+        if self.randomization is Randomization.NONE:
+            return np.full(count, self.base, dtype=np.int64)
+        if self.randomization is Randomization.SOFTWARE:
+            spread = self.base >> self.spread_shift
+            periods = self.base + rng.integers(
+                -spread, spread + 1, size=count, dtype=np.int64
+            )
+            np.maximum(periods, 2, out=periods)
+            return periods
+        # HARDWARE_4LSB: the counter reload value's low nibble is random.
+        high = self.base & ~0xF
+        return high + rng.integers(0, 16, size=count, dtype=np.int64)
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``"2003 (prime, randomized)"``."""
+        tags = []
+        if is_prime(self.base):
+            tags.append("prime")
+        else:
+            tags.append("round")
+        if self.randomization is Randomization.SOFTWARE:
+            tags.append("sw-randomized")
+        elif self.randomization is Randomization.HARDWARE_4LSB:
+            tags.append("hw-randomized")
+        return f"{self.base} ({', '.join(tags)})"

@@ -1,0 +1,24 @@
+"""Workloads: the paper's kernels and application proxies.
+
+Kernels (Section 4.3) are hand-built programs that isolate one source of
+sampling inaccuracy each; the application proxies are synthetic programs
+whose CFG structure matches the paper's characterisation of the SPEC2006
+subset and the CERN FullCMS production workload (see
+:mod:`repro.workloads.apps.generator` and DESIGN.md section 2).
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.registry import (
+    KERNEL_NAMES,
+    APP_NAMES,
+    get_workload,
+    list_workloads,
+)
+
+__all__ = [
+    "Workload",
+    "get_workload",
+    "list_workloads",
+    "KERNEL_NAMES",
+    "APP_NAMES",
+]

@@ -1,0 +1,19 @@
+"""Application proxies: synthetic programs with enterprise CFG structure.
+
+The paper's applications (SPEC2006 subset, CERN FullCMS) are proprietary or
+impractical to run here; EBS accuracy depends on their *structure* — hotness
+skew, block-size distribution, call depth, branchiness, dispatch style — so
+each proxy is generated from a structural profile capturing the paper's
+characterisation of the original (see DESIGN.md section 2).
+"""
+
+from repro.workloads.apps.generator import AppProfile, build_app, generate_structure
+from repro.workloads.apps.profiles import APP_PROFILES, get_profile
+
+__all__ = [
+    "AppProfile",
+    "build_app",
+    "generate_structure",
+    "APP_PROFILES",
+    "get_profile",
+]

@@ -1,0 +1,129 @@
+"""Structural profiles of the paper's applications (Section 4.3.5).
+
+Each profile encodes what the paper (and its citations) say about the
+workload's shape, not its arithmetic meaning:
+
+* **429.mcf** — pointer-chasing network simplex: tiny code with extreme
+  hotspots and memory-latency-dominated blocks.
+* **453.povray** — ray tracer: FP-heavy medium-sized blocks, moderate call
+  depth.
+* **471.omnetpp** — discrete-event simulator in C++: virtual dispatch,
+  many short methods, fragmented profile.
+* **483.xalancbmk** — XSLT processor: the branchiest of the set, tiny
+  blocks, deep call chains, long-tail profile.
+* **fullcms** — CERN's Geant4-based production simulation: hundreds of
+  fragmented FP methods on deep call chains; the paper notes its
+  characteristics resemble the Callchain kernel.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.apps.generator import AppProfile
+
+MCF = AppProfile(
+    name="mcf",
+    description="429.mcf proxy: extreme hotspot, memory-bound loop nests",
+    n_functions=24,
+    levels=3,
+    zipf_exponent=1.5,
+    block_size=(6, 14),
+    tests_per_function=(2, 5),
+    taken_bias=(64, 192),
+    p_loop=0.6,
+    loop_trips=(8, 40),
+    p_call=0.6,
+    loop_body_tests=2,
+    mix={
+        "alu": 4.5, "load_l1": 2.5, "load_llc": 0.6, "load_dram": 0.3,
+        "mul": 0.3,
+    },
+)
+
+POVRAY = AppProfile(
+    name="povray",
+    description="453.povray proxy: FP-heavy medium blocks",
+    n_functions=60,
+    levels=4,
+    zipf_exponent=1.2,
+    block_size=(8, 16),
+    tests_per_function=(1, 4),
+    taken_bias=(48, 208),
+    p_loop=0.45,
+    loop_trips=(3, 10),
+    p_call=0.65,
+    mix={
+        "alu": 3.0, "fp_add": 3.0, "fp_mul": 2.0, "load_l1": 1.5,
+        "div": 0.15, "mul": 0.5,
+    },
+)
+
+OMNETPP = AppProfile(
+    name="omnetpp",
+    description="471.omnetpp proxy: virtual dispatch, short methods",
+    n_functions=110,
+    levels=4,
+    zipf_exponent=1.1,
+    block_size=(4, 8),
+    tests_per_function=(2, 6),
+    taken_bias=(64, 192),
+    p_loop=0.3,
+    loop_trips=(2, 6),
+    p_call=0.75,
+    mix={
+        "alu": 4.0, "load_l1": 2.0, "load_llc": 0.6, "mul": 0.4,
+        "fp_add": 0.3,
+    },
+)
+
+XALANCBMK = AppProfile(
+    name="xalancbmk",
+    description="483.xalancbmk proxy: branchiest, tiny blocks, deep calls",
+    n_functions=140,
+    levels=4,
+    zipf_exponent=1.0,
+    block_size=(3, 5),
+    tests_per_function=(5, 11),
+    taken_bias=(48, 208),
+    p_loop=0.25,
+    loop_trips=(2, 5),
+    p_call=0.8,
+    mix={
+        "alu": 4.5, "load_l1": 2.0, "mul": 0.3,
+    },
+)
+
+FULLCMS = AppProfile(
+    name="fullcms",
+    description=(
+        "CERN FullCMS proxy: fragmented FP methods on deep call chains"
+    ),
+    n_functions=180,
+    levels=6,
+    zipf_exponent=0.9,
+    block_size=(4, 8),
+    tests_per_function=(1, 4),
+    taken_bias=(64, 192),
+    p_loop=0.3,
+    loop_trips=(2, 6),
+    p_call=0.9,
+    mix={
+        "alu": 3.0, "fp_add": 2.5, "fp_mul": 1.5, "load_l1": 1.5,
+        "div": 0.1, "mul": 0.4,
+    },
+)
+
+APP_PROFILES: dict[str, AppProfile] = {
+    p.name: p for p in (MCF, POVRAY, OMNETPP, XALANCBMK, FULLCMS)
+}
+
+
+def get_profile(name: str) -> AppProfile:
+    """Look an application profile up by name."""
+    try:
+        return APP_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(APP_PROFILES))
+        raise WorkloadError(
+            f"unknown application {name!r} (known: {known})"
+        ) from None

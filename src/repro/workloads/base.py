@@ -1,0 +1,39 @@
+"""Workload descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, parameterized program factory.
+
+    ``scale`` multiplies the dynamic instruction count (1.0 is the default
+    experiment size, a few million instructions); benchmarks use smaller
+    scales for quick runs.
+    """
+
+    name: str
+    category: str                      # "kernel" or "app"
+    description: str
+    builder: Callable[[float, int], Program]
+    #: Default round base period for this workload's sampling runs, sized so
+    #: a scale-1.0 run yields a few thousand samples (the same regime the
+    #: paper's 2e6 period produces on multi-minute runs).
+    default_period: int = 2000
+    #: Seed for the workload's input data (apps use it for CFG generation).
+    default_seed: int = 1234
+
+    def build(self, scale: float = 1.0, seed: int | None = None) -> Program:
+        """Construct the program at the requested scale."""
+        if scale <= 0:
+            raise WorkloadError(f"scale must be positive, got {scale}")
+        return self.builder(scale, self.default_seed if seed is None else seed)
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.category})"

@@ -1,0 +1,13 @@
+"""The paper's four accuracy kernels (Section 4.3)."""
+
+from repro.workloads.kernels.latency_biased import build_latency_biased
+from repro.workloads.kernels.callchain import build_callchain
+from repro.workloads.kernels.g4box import build_g4box
+from repro.workloads.kernels.test40 import build_test40
+
+__all__ = [
+    "build_latency_biased",
+    "build_callchain",
+    "build_g4box",
+    "build_test40",
+]

@@ -1,0 +1,71 @@
+"""The Call-chain kernel (Section 4.3.2).
+
+A loop calls a 10-deep chain of functions ``f0 -> f1 -> ... -> f9``, each
+doing equal ALU work. A perfect profile charges each function the same
+instruction count. The kernel illustrates sampling bias on the short,
+frequently-called methods typical of object-oriented code.
+
+Sizing: one loop iteration retires exactly 200 instructions, so round
+periods resonate; the chain also retires 21 taken branches per iteration
+(10 calls + 10 returns + the loop back-edge), which exercises the LBR
+window-coverage behaviour the paper discusses for FullCMS.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+#: Loop iterations at scale 1.0 (about 2M retired instructions).
+BASE_ITERATIONS = 10_000
+
+#: Functions in the chain.
+CHAIN_DEPTH = 10
+
+#: ALU work per chain function.
+WORK_PER_FUNCTION = 16
+
+#: Padding in the loop latch that rounds the iteration length to 200:
+#: 1 (call) + (1 + pad + 1) (latch) + 9*18 + 17 (chain) = 200.
+_LATCH_PAD = 18
+
+#: Instructions retired per loop iteration (kept stable for tests).
+ITERATION_LENGTH = 200
+
+_R_N = 0
+
+
+def build_callchain(scale: float = 1.0, seed: int = 0) -> Program:
+    """Construct the kernel; ``seed`` is unused (the kernel is data-free)."""
+    iterations = max(1, int(BASE_ITERATIONS * scale))
+
+    b = ProgramBuilder("callchain")
+    f = b.function("main")
+
+    f.block("entry")
+    f.li(_R_N, iterations)
+    # falls through into the loop head.
+
+    f.block("head")
+    f.call("f0")
+
+    f.block("latch")
+    f.subi(_R_N, _R_N, 1)
+    f.alu_burst(_LATCH_PAD)
+    f.bnei(_R_N, 0, "head")
+
+    f.block("exit")
+    f.halt()
+
+    for i in range(CHAIN_DEPTH):
+        func = b.function(f"f{i}")
+        func.block("body")
+        func.alu_burst(WORK_PER_FUNCTION)
+        if i + 1 < CHAIN_DEPTH:
+            func.call(f"f{i + 1}")
+            func.block("after_call")
+            func.ret()
+        else:
+            func.ret()
+
+    return b.build()

@@ -1,0 +1,95 @@
+"""The G4Box micro-benchmark (Section 4.3.3).
+
+Modelled on the Geant4 ``G4Box::Inside`` test: two functions with an even
+work split, where the main function is a chain of tests and branches that
+generates *short basic blocks* (2-3 instructions) and whose executed length
+depends on the input data — the hard case for plain sampling and the
+showcase for LBR accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+#: Outer iterations at scale 1.0 (about 2M retired instructions).
+BASE_ITERATIONS = 22_000
+
+#: Number of bit tests in the ``inside`` chain.
+TEST_CHAIN_LENGTH = 10
+
+#: Size of the input-data segment.
+DATA_SIZE = 8192
+
+_R_N = 0        # loop counter
+_R_IDX = 1      # data index
+_R_VAL = 2      # loaded input word
+_R_BIT = 5      # shifted word
+_R_TEST = 6     # isolated bit
+_R_ONE = 4      # constant 1
+_R_ACC = 7      # accumulator
+
+
+def build_g4box(scale: float = 1.0, seed: int = 0) -> Program:
+    """Construct the kernel with seeded random input data."""
+    iterations = max(1, int(BASE_ITERATIONS * scale))
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 31, size=DATA_SIZE, dtype=np.int64)
+
+    b = ProgramBuilder("g4box", data=data)
+    f = b.function("main")
+
+    f.block("entry")
+    f.li(_R_N, iterations)
+    f.li(_R_IDX, 0)
+    f.li(_R_ONE, 1)
+    # falls through into the loop head.
+
+    f.block("head")
+    f.load(_R_VAL, _R_IDX)
+    f.call("inside")
+
+    f.block("mid")
+    f.call("calc")
+
+    f.block("latch")
+    f.addi(_R_IDX, _R_IDX, 1)
+    f.subi(_R_N, _R_N, 1)
+    f.bnei(_R_N, 0, "head")
+
+    f.block("exit")
+    f.halt()
+
+    # inside: the branchy test chain; work blocks execute only for set bits,
+    # so the function's dynamic length is data-dependent.
+    inside = b.function("inside")
+    for k in range(TEST_CHAIN_LENGTH):
+        nxt = f"test{k + 1}" if k + 1 < TEST_CHAIN_LENGTH else "done"
+        inside.block(f"test{k}")
+        inside.shr(_R_BIT, _R_VAL, k)
+        inside.and_(_R_TEST, _R_BIT, _R_ONE)
+        inside.beqi(_R_TEST, 0, nxt)
+        inside.block(f"work{k}")
+        inside.addi(_R_ACC, _R_ACC, k)
+        inside.fadd()
+        # work blocks fall through to the next test.
+    inside.block("done")
+    inside.addi(_R_ACC, _R_ACC, 1)
+    inside.ret()
+
+    # calc: the heavy half, sized to roughly match inside's average dynamic
+    # length (10 * 3 + ~5 * 2 + 2 ≈ 42 instructions).
+    calc = b.function("calc")
+    calc.block("body")
+    calc.fp_burst(18)
+    calc.fmul()
+    calc.fmul()
+    calc.alu_burst(6)
+    calc.fp_burst(14)
+    calc.block("tail")
+    calc.fadd()
+    calc.ret()
+
+    return b.build()

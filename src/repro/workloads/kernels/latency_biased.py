@@ -1,0 +1,77 @@
+"""The Latency-Biased kernel (Section 4.3.1).
+
+The C original::
+
+    while (n--) ((n % 2) ? x /= y : x += y);
+
+A loop alternates between a long-latency divide and a single-cycle add.
+PMU sampling without precise distribution biases samples towards the divide
+(the shadow effect), distorting the per-block profile.
+
+Block sizes are tuned so one odd+even double-iteration retires exactly 20
+instructions: a round period like 2000 then resonates perfectly with the
+loop (synchronization, error source 1 of Section 3.1), while prime periods
+walk all loop offsets.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+#: Iterations at scale 1.0 (about 2M retired instructions).
+BASE_ITERATIONS = 200_000
+
+#: Instructions retired by one odd+even iteration pair; kept stable so tests
+#: can assert the resonance property against round periods.
+DOUBLE_ITERATION_LENGTH = 20
+
+_R_N = 0          # loop counter n
+_R_PARITY = 3     # n % 2 scratch
+_R_ONE = 4        # constant 1
+_R_X = 5          # accumulator x
+_R_Y = 6          # divisor y
+
+
+def build_latency_biased(scale: float = 1.0, seed: int = 0) -> Program:
+    """Construct the kernel; ``seed`` is unused (the kernel is data-free)."""
+    iterations = max(2, int(BASE_ITERATIONS * scale))
+    if iterations % 2:
+        iterations += 1  # keep odd/even paths balanced
+
+    b = ProgramBuilder("latency_biased")
+    f = b.function("main")
+
+    f.block("entry")
+    f.li(_R_N, iterations)
+    f.li(_R_ONE, 1)
+    f.li(_R_X, 1 << 40)
+    f.li(_R_Y, 3)
+    # entry falls through into the loop head.
+
+    # head (2): test n % 2.
+    f.block("head")
+    f.and_(_R_PARITY, _R_N, _R_ONE)
+    f.beqi(_R_PARITY, 0, "even")
+
+    # odd (6): the costly path, x /= y.
+    f.block("odd")
+    f.div(_R_X, _R_X, _R_Y)
+    f.alu_burst(4)
+    f.jmp("latch")
+
+    # even (6): the cheap path, x += y.
+    f.block("even")
+    f.add(_R_X, _R_X, _R_Y)
+    f.alu_burst(5)
+    # falls through to the latch.
+
+    # latch (2): n-- and loop.
+    f.block("latch")
+    f.subi(_R_N, _R_N, 1)
+    f.bnei(_R_N, 0, "head")
+
+    f.block("exit")
+    f.halt()
+
+    return b.build()

@@ -1,0 +1,127 @@
+"""Geant4 "test40" kernel (Section 4.3.4).
+
+A kernelized doppelganger of large Geant4 applications: an electron steps
+through a simple detector geometry, and each step conditionally triggers one
+of several physics processes. The signature is a collection of small,
+fragmented methods executed conditionally on the particle state — long-tail
+profiles made of short blocks with frequent calls and indirect dispatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+#: Steps at scale 1.0 (about 2M retired instructions).
+BASE_STEPS = 36_000
+
+#: Number of physics-process functions reachable via indirect dispatch
+#: (a power of two so the selector is a cheap AND).
+NUM_PROCESSES = 8
+
+#: Size of the input-data segment (pre-generated "randomness").
+DATA_SIZE = 16384
+
+_R_N = 0        # step counter
+_R_IDX = 1      # data index
+_R_VAL = 2      # loaded random word
+_R_SEL = 3      # process selector
+_R_MASK = 4     # NUM_PROCESSES - 1
+_R_BIT = 5      # geometry bit scratch
+_R_TEST = 6     # geometry test scratch
+_R_ACC = 7      # energy accumulator
+_R_ONE = 8      # constant 1
+
+
+def _add_process(b: ProgramBuilder, index: int) -> None:
+    """One small physics-process method; a few call a shared helper."""
+    func = b.function(f"process{index}")
+    func.block("body")
+    func.addi(_R_ACC, _R_ACC, index + 1)
+    if index % 3 == 0:
+        # Ionization-like: long-latency arithmetic.
+        func.alu_burst(2)
+        func.div(_R_ACC, _R_ACC, _R_ONE)
+        func.fadd()
+    elif index % 3 == 1:
+        # Scattering-like: FP work plus a helper call.
+        func.fp_burst(3)
+        func.call("deposit")
+        func.block("after_deposit")
+        func.alu_burst(2)
+    else:
+        # Transport-like: short branchy block pair.
+        func.and_(_R_TEST, _R_VAL, _R_ONE)
+        func.beqi(_R_TEST, 0, "skip")
+        func.block("extra")
+        func.fadd()
+        func.addi(_R_ACC, _R_ACC, 1)
+        func.block("skip")
+        func.alu_burst(3)
+    func.block("fini")
+    func.addi(_R_ACC, _R_ACC, 1)
+    func.ret()
+
+
+def build_test40(scale: float = 1.0, seed: int = 0) -> Program:
+    """Construct the kernel with seeded pre-generated randomness."""
+    steps = max(1, int(BASE_STEPS * scale))
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 31, size=DATA_SIZE, dtype=np.int64)
+
+    b = ProgramBuilder("test40", data=data)
+    f = b.function("main")
+
+    f.block("entry")
+    f.li(_R_N, steps)
+    f.li(_R_IDX, 0)
+    f.li(_R_MASK, NUM_PROCESSES - 1)
+    f.li(_R_ONE, 1)
+    # falls through into the stepping loop.
+
+    f.block("head")
+    f.load(_R_VAL, _R_IDX)
+    f.call("geometry")
+
+    f.block("dispatch")
+    f.shr(_R_SEL, _R_VAL, 3)
+    f.and_(_R_SEL, _R_SEL, _R_MASK)
+    f.icall(_R_SEL, [f"process{i}" for i in range(NUM_PROCESSES)])
+
+    f.block("latch")
+    f.addi(_R_IDX, _R_IDX, 1)
+    f.subi(_R_N, _R_N, 1)
+    f.bnei(_R_N, 0, "head")
+
+    f.block("exit")
+    f.halt()
+
+    # geometry: where-is-the-particle tests — a short conditional chain.
+    geo = b.function("geometry")
+    for k in range(4):
+        nxt = f"g{k + 1}" if k + 1 < 4 else "gdone"
+        geo.block(f"g{k}")
+        geo.shr(_R_BIT, _R_VAL, k)
+        geo.and_(_R_TEST, _R_BIT, _R_ONE)
+        geo.beqi(_R_TEST, 0, nxt)
+        geo.block(f"gwork{k}")
+        geo.addi(_R_ACC, _R_ACC, k)
+        geo.fadd()
+    geo.block("gdone")
+    geo.addi(_R_ACC, _R_ACC, 1)
+    geo.ret()
+
+    for i in range(NUM_PROCESSES):
+        _add_process(b, i)
+
+    # deposit: the shared helper some processes call.
+    dep = b.function("deposit")
+    dep.block("body")
+    dep.fadd()
+    dep.fmul()
+    dep.addi(_R_ACC, _R_ACC, 2)
+    dep.ret()
+
+    return b.build()

@@ -1,0 +1,86 @@
+"""Workload registry: name -> :class:`~repro.workloads.base.Workload`."""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.apps.generator import build_app
+from repro.workloads.apps.profiles import APP_PROFILES
+from repro.workloads.kernels import (
+    build_callchain,
+    build_g4box,
+    build_latency_biased,
+    build_test40,
+)
+
+_KERNELS = (
+    Workload(
+        name="latency_biased",
+        category="kernel",
+        description="Loop alternating a long-latency divide with a cheap add",
+        builder=build_latency_biased,
+        default_period=2000,
+    ),
+    Workload(
+        name="callchain",
+        category="kernel",
+        description="10-deep call chain of equal-work functions in a loop",
+        builder=build_callchain,
+        default_period=2000,
+    ),
+    Workload(
+        name="g4box",
+        category="kernel",
+        description="Two functions, even work split, short branchy blocks",
+        builder=build_g4box,
+        default_period=2000,
+    ),
+    Workload(
+        name="test40",
+        category="kernel",
+        description="Geant4-style particle stepping over fragmented methods",
+        builder=build_test40,
+        default_period=2000,
+    ),
+)
+
+
+def _app_workload(name: str) -> Workload:
+    profile = APP_PROFILES[name]
+
+    def builder(scale: float, seed: int, _profile=profile):
+        return build_app(_profile, scale=scale, seed=seed)
+
+    return Workload(
+        name=name,
+        category="app",
+        description=profile.description,
+        builder=builder,
+        default_period=500,
+    )
+
+
+_APPS = tuple(_app_workload(name) for name in
+              ("mcf", "povray", "omnetpp", "xalancbmk", "fullcms"))
+
+_REGISTRY: dict[str, Workload] = {w.name: w for w in _KERNELS + _APPS}
+
+KERNEL_NAMES: tuple[str, ...] = tuple(w.name for w in _KERNELS)
+APP_NAMES: tuple[str, ...] = tuple(w.name for w in _APPS)
+
+
+def get_workload(name: str) -> Workload:
+    """Look a workload up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise WorkloadError(f"unknown workload {name!r} (known: {known})") from None
+
+
+def list_workloads(category: str | None = None) -> list[Workload]:
+    """All registered workloads, optionally filtered by category."""
+    workloads = list(_REGISTRY.values())
+    if category is not None:
+        workloads = [w for w in workloads if w.category == category]
+    return workloads

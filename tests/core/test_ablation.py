@@ -1,0 +1,61 @@
+"""Unit tests for the ablation sweep API."""
+
+import pytest
+
+from repro import IVY_BRIDGE, Machine
+from repro.core.ablation import sweep_period, sweep_uarch_parameter
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    program = get_workload("g4box").build(scale=0.05)
+    return Machine(IVY_BRIDGE).execute(program).trace
+
+
+def test_uarch_sweep_structure(small_trace):
+    sweep = sweep_uarch_parameter(
+        small_trace, IVY_BRIDGE, "pmi_skid_cycles", (0, 16),
+        method="classic", base_period=200, seeds=range(2),
+    )
+    assert sweep.parameter == "pmi_skid_cycles"
+    assert sweep.method == "classic"
+    assert sweep.values() == [0, 16]
+    assert len(sweep.errors()) == 2
+    assert all(e >= 0 for e in sweep.errors())
+
+
+def test_uarch_sweep_zero_value_differs(small_trace):
+    sweep = sweep_uarch_parameter(
+        small_trace, IVY_BRIDGE, "pmi_skid_cycles", (0, 64),
+        method="classic", base_period=200, seeds=range(2),
+    )
+    errors = sweep.errors()
+    assert errors[0] != errors[1]
+
+
+def test_period_sweep(small_trace):
+    sweep = sweep_period(
+        small_trace, IVY_BRIDGE, (101, 211), method="precise",
+        seeds=range(2),
+    )
+    assert sweep.parameter == "base_period"
+    assert sweep.values() == [101, 211]
+
+
+def test_render_contains_values(small_trace):
+    sweep = sweep_uarch_parameter(
+        small_trace, IVY_BRIDGE, "lbr_depth", (4, 16),
+        method="lbr", base_period=200, seeds=range(2),
+    )
+    text = sweep.render()
+    assert "lbr_depth=" in text
+    assert "error=" in text
+
+
+def test_invalid_parameter_raises(small_trace):
+    with pytest.raises(TypeError):
+        sweep_uarch_parameter(
+            small_trace, IVY_BRIDGE, "warp_factor", (1,),
+            method="classic", base_period=200,
+        )

@@ -1,0 +1,91 @@
+"""Unit and property tests for the accuracy-error metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisError
+from repro.core.accuracy import accuracy_error, profile_error
+from repro.core.profile import Profile
+from repro.instrumentation import collect_reference
+
+
+def test_perfect_profile_scores_zero():
+    ref = np.asarray([100.0, 50.0, 0.0])
+    assert accuracy_error(ref, ref) == 0.0
+
+
+def test_fully_misplaced_mass_scores_two():
+    ref = np.asarray([100.0, 0.0])
+    est = np.asarray([0.0, 100.0])
+    assert accuracy_error(est, ref) == pytest.approx(2.0)
+
+
+def test_paper_definition():
+    # err = sum |est - ref| / net_instructions.
+    ref = np.asarray([60.0, 40.0])
+    est = np.asarray([70.0, 30.0])
+    assert accuracy_error(est, ref) == pytest.approx(20.0 / 100.0)
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(AnalysisError, match="shape"):
+        accuracy_error(np.zeros(3), np.zeros(4))
+
+
+def test_empty_reference_rejected():
+    with pytest.raises(AnalysisError, match="empty"):
+        accuracy_error(np.zeros(3), np.zeros(3))
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_error_nonnegative_and_zero_iff_equal(values):
+    ref = np.asarray(values) + 1.0  # ensure nonzero total
+    assert accuracy_error(ref, ref) == 0.0
+    est = ref + 1.0
+    assert accuracy_error(est, ref) > 0.0
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=30),
+    st.floats(min_value=0.1, max_value=10.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_error_scale_invariance(values, factor):
+    """Scaling both profiles by the same factor leaves the error unchanged."""
+    ref = np.asarray(values) + 1.0
+    est = ref.copy()
+    est[0] += 5.0
+    base = accuracy_error(est, ref)
+    scaled = accuracy_error(est * factor, ref * factor)
+    assert scaled == pytest.approx(base, rel=1e-9)
+
+
+def test_profile_error_result(branchy_trace, branchy_program):
+    ref = collect_reference(branchy_trace)
+    est = ref.block_instr_counts.astype(np.float64).copy()
+    est[0] += 500.0
+    profile = Profile(
+        program=branchy_program,
+        method="test",
+        block_instr_estimates=est,
+        num_samples=1,
+    )
+    result = profile_error(profile, ref)
+    assert result.error == pytest.approx(500.0 / ref.net_instruction_count)
+    assert result.worst_blocks(1)[0][0] == 0
+    assert result.method == "test"
+
+
+def test_profile_error_program_mismatch(branchy_trace, loop_program):
+    ref = collect_reference(branchy_trace)
+    profile = Profile(
+        program=loop_program,
+        method="test",
+        block_instr_estimates=np.ones(loop_program.num_blocks),
+        num_samples=1,
+    )
+    with pytest.raises(AnalysisError, match="different programs"):
+        profile_error(profile, ref)

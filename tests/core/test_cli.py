@@ -1,0 +1,81 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.core.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "ivybridge" in out
+    assert "latency_biased" in out
+    assert "pdir_fix" in out
+
+
+def test_table3(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+
+
+def test_run_single_cell(capsys):
+    code = main([
+        "run", "--machine", "ivybridge", "--workload", "latency_biased",
+        "--method", "precise", "--scale", "0.01", "--repeats", "1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ivybridge/latency_biased/precise" in out
+
+
+def test_run_unavailable_method(capsys):
+    code = main([
+        "run", "--machine", "magnycours", "--workload", "latency_biased",
+        "--method", "lbr", "--scale", "0.01",
+    ])
+    assert code == 2
+    assert "not available" in capsys.readouterr().err
+
+
+def test_table1_small(capsys):
+    assert main(["table1", "--scale", "0.01", "--repeats", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "westmere/latency_biased" in out
+
+
+def test_recommend(capsys):
+    code = main([
+        "recommend", "--machine", "ivybridge", "--workload",
+        "latency_biased", "--scale", "0.01",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "recommended method: lbr" in out
+    assert "because:" in out
+
+
+def test_recommend_no_lbr(capsys):
+    code = main([
+        "recommend", "--machine", "ivybridge", "--workload",
+        "latency_biased", "--scale", "0.01", "--no-lbr",
+    ])
+    assert code == 0
+    assert "pdir_fix" in capsys.readouterr().out
+
+
+def test_disasm(capsys):
+    code = main([
+        "disasm", "--workload", "latency_biased", "--function", "main",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "main.odd:" in out
+    assert "div" in out
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0

@@ -1,0 +1,56 @@
+"""Unit tests for the experiment harness (caching, cell evaluation)."""
+
+import pytest
+
+from repro.core.experiment import DEFAULT_MACHINES, ExperimentConfig, Harness
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness(ExperimentConfig(scale=0.01, repeats=2))
+
+
+def test_default_machines_order():
+    assert DEFAULT_MACHINES == ("magnycours", "westmere", "ivybridge")
+
+
+def test_trace_cached(harness):
+    t1 = harness.trace("latency_biased")
+    t2 = harness.trace("latency_biased")
+    assert t1 is t2
+
+
+def test_executions_share_trace(harness):
+    a = harness.execution("westmere", "latency_biased")
+    b = harness.execution("ivybridge", "latency_biased")
+    assert a.trace is b.trace
+    assert a.uarch.name == "westmere"
+
+
+def test_reference_cached_and_consistent(harness):
+    ref = harness.reference("latency_biased")
+    assert ref is harness.reference("latency_biased")
+    assert ref.net_instruction_count \
+        == harness.trace("latency_biased").num_instructions
+
+
+def test_cell_returns_stats(harness):
+    stats = harness.cell("ivybridge", "latency_biased", "precise")
+    assert stats is not None
+    assert stats.repeats == 2
+    # Cached: same object on second call.
+    assert harness.cell("ivybridge", "latency_biased", "precise") is stats
+
+
+def test_unavailable_cell_is_none(harness):
+    assert harness.cell("magnycours", "latency_biased", "lbr") is None
+    assert harness.cell("westmere", "latency_biased", "pdir_fix") is None
+
+
+def test_period_for_uses_workload_default(harness):
+    assert harness.period_for("latency_biased") == 2000
+    assert harness.period_for("mcf") == 500
+
+
+def test_config_seeds(harness):
+    assert list(harness.config.seeds) == [100, 101]

@@ -1,0 +1,57 @@
+"""Unit tests for table export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.export import load_table_json, table_to_csv, table_to_json
+from repro.core.stats import summarize_errors
+from repro.core.tables import TableResult
+
+
+@pytest.fixture()
+def table():
+    result = TableResult(
+        title="test table",
+        row_labels=[("ivybridge", "mcf"), ("westmere", "mcf")],
+        column_labels=["classic", "lbr"],
+    )
+    result.cells[("ivybridge", "mcf", "classic")] = summarize_errors(
+        "classic", [0.5, 0.6]
+    )
+    result.cells[("ivybridge", "mcf", "lbr")] = summarize_errors(
+        "lbr", [0.1]
+    )
+    result.cells[("westmere", "mcf", "classic")] = summarize_errors(
+        "classic", [0.7]
+    )
+    result.cells[("westmere", "mcf", "lbr")] = None  # blank cell
+    return result
+
+
+def test_csv_roundtrip(table):
+    text = table_to_csv(table)
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == 4
+    first = [r for r in rows if r["machine"] == "ivybridge"
+             and r["method"] == "classic"][0]
+    assert float(first["mean_error"]) == pytest.approx(0.55)
+    blank = [r for r in rows if r["machine"] == "westmere"
+             and r["method"] == "lbr"][0]
+    assert blank["mean_error"] == ""
+
+
+def test_json_roundtrip(table):
+    text = table_to_json(table)
+    document = load_table_json(text)
+    assert document["title"] == "test table"
+    assert len(document["cells"]) == 4
+    blanks = [c for c in document["cells"] if c["mean_error"] is None]
+    assert len(blanks) == 1
+
+
+def test_load_rejects_foreign_documents():
+    with pytest.raises(ValueError, match="not a repro table"):
+        load_table_json(json.dumps({"something": "else"}))

@@ -1,0 +1,68 @@
+"""Unit tests for function-level rank analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.functions import (
+    RankComparison,
+    compare_top_functions,
+    reference_top_functions,
+)
+from repro.core.profile import Profile
+from repro.instrumentation import collect_reference
+
+
+def _comparison(ref_order, est_order):
+    return RankComparison(
+        method="m",
+        reference_order=tuple(ref_order),
+        estimated_order=tuple(est_order),
+    )
+
+
+def test_exact_match():
+    c = _comparison(["a", "b", "c"], ["a", "b", "c"])
+    assert c.exact_match
+    assert c.matching_prefix == 3
+    assert c.overlap == 3
+    assert c.kendall_tau() == pytest.approx(1.0)
+
+
+def test_swapped_pair():
+    c = _comparison(["a", "b", "c"], ["a", "c", "b"])
+    assert not c.exact_match
+    assert c.matching_prefix == 1
+    assert c.overlap == 3
+    assert -1.0 <= c.kendall_tau() < 1.0
+
+
+def test_reversed_order_negative_tau():
+    c = _comparison(["a", "b", "c", "d"], ["d", "c", "b", "a"])
+    assert c.kendall_tau() == pytest.approx(-1.0)
+
+
+def test_disjoint_sets():
+    c = _comparison(["a", "b"], ["c", "d"])
+    assert c.overlap == 0
+    assert c.matching_prefix == 0
+
+
+def test_reference_top_functions(call_trace):
+    ref = collect_reference(call_trace)
+    top = reference_top_functions(ref, n=2)
+    names = [name for name, _ in top]
+    assert "main" in names or "helper" in names
+    counts = [count for _, count in top]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_compare_top_functions_exact_for_true_profile(call_trace):
+    ref = collect_reference(call_trace)
+    profile = Profile(
+        program=call_trace.program,
+        method="oracle",
+        block_instr_estimates=ref.block_instr_counts.astype(np.float64),
+        num_samples=0,
+    )
+    comparison = compare_top_functions(profile, ref, n=2)
+    assert comparison.exact_match

@@ -1,0 +1,68 @@
+"""Unit tests for the LBR-based IP+1 offset fix.
+
+With PDIR the capture is exactly the instruction after the trigger, so the
+fix must recover precisely the trigger's block — checkable against the
+ground-truth trace for every sample.
+"""
+
+import numpy as np
+import pytest
+
+from repro import IVY_BRIDGE
+from repro.errors import AnalysisError
+from repro.core.ip_fix import attribute_with_ip_fix, corrected_blocks
+from repro.pmu.events import Precision, instructions_event
+from repro.pmu.periods import PeriodPolicy
+from repro.pmu.sampler import Sampler, SamplingConfig
+
+
+def _collect(execution, collect_lbr=True, base=37):
+    config = SamplingConfig(
+        event=instructions_event(IVY_BRIDGE, Precision.PDIR),
+        period=PeriodPolicy(base=base),
+        collect_lbr=collect_lbr,
+    )
+    return Sampler(execution).collect(config, np.random.default_rng(0))
+
+
+def test_requires_lbr(branchy_execution):
+    batch = _collect(branchy_execution, collect_lbr=False)
+    with pytest.raises(AnalysisError, match="requires"):
+        corrected_blocks(batch)
+
+
+def test_fix_recovers_trigger_block_exactly(branchy_execution):
+    batch = _collect(branchy_execution)
+    corrected = corrected_blocks(batch)
+    trace = branchy_execution.trace
+    expected = trace.instr_block[batch.trigger_idx]
+    assert (corrected == expected).all()
+
+
+def test_fix_recovers_trigger_block_on_call_chain(call_trace):
+    from repro import Machine
+    execution = Machine(IVY_BRIDGE).attach(call_trace)
+    batch = _collect(execution, base=7)
+    corrected = corrected_blocks(batch)
+    expected = call_trace.instr_block[batch.trigger_idx]
+    assert (corrected == expected).all()
+
+
+def test_fix_changes_boundary_samples_only(branchy_execution):
+    batch = _collect(branchy_execution)
+    trace = branchy_execution.trace
+    plain = trace.instr_block[batch.reported_idx]
+    corrected = corrected_blocks(batch)
+    changed = corrected != plain
+    # Samples that moved must have been at block starts.
+    starts = trace.program.tables.block_start_addr[plain[changed]]
+    assert (batch.reported_addresses[changed] == starts).all()
+
+
+def test_attribution_mass_conserved(branchy_execution):
+    batch = _collect(branchy_execution)
+    profile = attribute_with_ip_fix(batch)
+    assert profile.total_estimate == pytest.approx(
+        float(batch.period_weights.sum())
+    )
+    assert profile.metadata["ip_fix"] is True

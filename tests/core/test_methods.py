@@ -1,0 +1,110 @@
+"""Unit tests for the Table 3 method catalogue and per-machine resolution."""
+
+import pytest
+
+from repro.errors import PMUConfigError
+from repro.cpu.uarch import IVY_BRIDGE, MAGNY_COURS, WESTMERE
+from repro.core.methods import (
+    Attribution,
+    METHOD_KEYS,
+    METHODS,
+    get_method,
+    method_available,
+    resolve_method,
+)
+from repro.pmu.events import EventKind, Precision
+from repro.pmu.periods import Randomization
+
+
+def test_table3_rows_present_in_order():
+    table3 = [m.key for m in METHODS if m.in_table3]
+    assert table3 == [
+        "classic", "precise", "precise_rand", "precise_prime",
+        "precise_prime_rand", "pdir_fix", "lbr",
+    ]
+
+
+def test_get_method_unknown():
+    with pytest.raises(PMUConfigError, match="unknown method"):
+        get_method("magic")
+
+
+def test_classic_uses_fixed_imprecise_counter_on_intel():
+    resolved = resolve_method("classic", IVY_BRIDGE, 2000)
+    assert resolved.config.event.precision is Precision.IMPRECISE
+    assert resolved.config.event.fixed_counter
+    assert resolved.config.period.base == 2000
+    assert resolved.attribution is Attribution.PLAIN
+
+
+def test_classic_on_amd_has_no_fixed_counter():
+    resolved = resolve_method("classic", MAGNY_COURS, 2000)
+    assert not resolved.config.event.fixed_counter
+    assert resolved.config.event.precision is Precision.IMPRECISE
+
+
+def test_precise_resolution_per_vendor():
+    intel = resolve_method("precise", IVY_BRIDGE, 2000)
+    assert intel.config.event.precision is Precision.PEBS
+    amd = resolve_method("precise", MAGNY_COURS, 2000)
+    assert amd.config.event.precision is Precision.IBS
+    assert amd.config.event.kind is EventKind.UOPS
+
+
+def test_prime_period_resolution():
+    resolved = resolve_method("precise_prime", IVY_BRIDGE, 2000)
+    assert resolved.config.period.base == 2003
+
+
+def test_randomization_resolution_per_vendor():
+    intel = resolve_method("precise_rand", IVY_BRIDGE, 2000)
+    assert intel.config.period.randomization is Randomization.SOFTWARE
+    amd = resolve_method("precise_rand", MAGNY_COURS, 2000)
+    assert amd.config.period.randomization is Randomization.HARDWARE_4LSB
+
+
+def test_pdir_fix_only_on_ivybridge():
+    assert method_available("pdir_fix", IVY_BRIDGE)
+    assert not method_available("pdir_fix", WESTMERE)
+    assert not method_available("pdir_fix", MAGNY_COURS)
+    resolved = resolve_method("pdir_fix", IVY_BRIDGE, 2000)
+    assert resolved.config.event.precision is Precision.PDIR
+    assert resolved.config.collect_lbr
+    assert resolved.attribution is Attribution.IP_FIX
+
+
+def test_lbr_needs_lbr_facility():
+    assert method_available("lbr", WESTMERE)
+    assert method_available("lbr", IVY_BRIDGE)
+    assert not method_available("lbr", MAGNY_COURS)
+    resolved = resolve_method("lbr", WESTMERE, 2000)
+    assert resolved.config.event.kind is EventKind.TAKEN_BRANCHES
+    assert resolved.attribution is Attribution.LBR_COUNTS
+
+
+def test_precise_fix_supplemental():
+    spec = get_method("precise_fix")
+    assert not spec.in_table3
+    assert method_available("precise_fix", WESTMERE)
+    assert not method_available("precise_fix", MAGNY_COURS)
+
+
+def test_all_methods_available_somewhere():
+    for key in METHOD_KEYS:
+        assert any(
+            method_available(key, u)
+            for u in (MAGNY_COURS, WESTMERE, IVY_BRIDGE)
+        ), key
+
+
+def test_lbr_events_match_paper_names():
+    # Footnote 1 / Section 4.2: the taken-branches events per machine.
+    ivb = resolve_method("lbr", IVY_BRIDGE, 2000)
+    assert ivb.config.event.name == "BR_INST_RETIRED.NEAR_TAKEN"
+    wsm = resolve_method("lbr", WESTMERE, 2000)
+    assert wsm.config.event.name == "BR_INST_EXEC.TAKEN"
+
+
+def test_random_phase_enabled_for_repeat_variance():
+    resolved = resolve_method("classic", IVY_BRIDGE, 2000)
+    assert resolved.config.random_phase

@@ -1,0 +1,66 @@
+"""Unit tests for the Profile container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.core.profile import Profile
+
+
+def _profile(program, values, method="m"):
+    return Profile(
+        program=program,
+        method=method,
+        block_instr_estimates=np.asarray(values, dtype=np.float64),
+        num_samples=10,
+    )
+
+
+def test_shape_validated(loop_program):
+    with pytest.raises(AnalysisError, match="blocks"):
+        _profile(loop_program, [1.0])
+
+
+def test_negative_estimates_rejected(loop_program):
+    values = [0.0] * loop_program.num_blocks
+    values[0] = -1.0
+    with pytest.raises(AnalysisError, match="negative"):
+        _profile(loop_program, values)
+
+
+def test_normalization(loop_program):
+    values = [1.0] * loop_program.num_blocks
+    profile = _profile(loop_program, values)
+    scaled = profile.normalized_to(1000)
+    assert scaled.total_estimate == pytest.approx(1000)
+    assert scaled.metadata["normalized"] is True
+    # Relative shares preserved.
+    assert np.allclose(
+        scaled.block_instr_estimates,
+        1000 / loop_program.num_blocks,
+    )
+
+
+def test_normalize_empty_rejected(loop_program):
+    profile = _profile(loop_program, [0.0] * loop_program.num_blocks)
+    with pytest.raises(AnalysisError, match="empty"):
+        profile.normalized_to(100)
+
+
+def test_function_aggregation(call_program):
+    values = np.ones(call_program.num_blocks)
+    profile = _profile(call_program, values)
+    per_function = profile.function_instr_estimates()
+    assert per_function.sum() == pytest.approx(call_program.num_blocks)
+    assert per_function.size == len(call_program.functions)
+
+
+def test_top_functions_ordering(call_program):
+    values = np.zeros(call_program.num_blocks)
+    helper_entry = call_program.function("helper").entry.index
+    values[helper_entry] = 100.0
+    values[0] = 1.0
+    profile = _profile(call_program, values)
+    top = profile.top_functions(2)
+    assert top[0][0] == "helper"
+    assert top[0][1] == pytest.approx(100.0)

@@ -1,0 +1,70 @@
+"""Unit tests for the Section 6.3 advisor."""
+
+import pytest
+
+from repro import IVY_BRIDGE, MAGNY_COURS, Machine, WESTMERE
+from repro.core.recommendations import recommend_method
+from repro.pmu.periods import is_prime
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def fragmented_trace():
+    return Machine(IVY_BRIDGE).execute(
+        get_workload("test40").build(scale=0.02)
+    ).trace
+
+
+@pytest.fixture(scope="module")
+def stall_trace():
+    return Machine(IVY_BRIDGE).execute(
+        get_workload("latency_biased").build(scale=0.02)
+    ).trace
+
+
+def test_lbr_recommended_when_available(fragmented_trace):
+    execution = Machine(IVY_BRIDGE).attach(fragmented_trace)
+    rec = recommend_method(execution)
+    assert rec.method_key == "lbr"
+    assert is_prime(rec.base_period)
+    assert any("LBR" in reason for reason in rec.rationale)
+
+
+def test_pdir_when_lbr_declined(fragmented_trace):
+    execution = Machine(IVY_BRIDGE).attach(fragmented_trace)
+    rec = recommend_method(execution, want_maximum_accuracy=False)
+    assert rec.method_key == "pdir_fix"
+
+
+def test_westmere_falls_back_to_precise_fix(fragmented_trace):
+    execution = Machine(WESTMERE).attach(fragmented_trace)
+    rec = recommend_method(execution, want_maximum_accuracy=False)
+    assert rec.method_key == "precise_fix"
+
+
+def test_amd_gets_prime_ibs(fragmented_trace):
+    execution = Machine(MAGNY_COURS).attach(fragmented_trace)
+    rec = recommend_method(execution)
+    assert rec.method_key == "precise_prime"
+    assert any("IBS" in reason for reason in rec.rationale)
+
+
+def test_stall_bound_warning_on_westmere(stall_trace):
+    execution = Machine(WESTMERE).attach(stall_trace)
+    rec = recommend_method(execution, want_maximum_accuracy=False)
+    assert rec.method_key == "precise_fix"
+    assert any("latency bias" in reason for reason in rec.rationale)
+
+
+def test_render_is_readable(fragmented_trace):
+    execution = Machine(IVY_BRIDGE).attach(fragmented_trace)
+    text = recommend_method(execution).render()
+    assert "recommended method" in text
+    assert "because:" in text
+
+
+def test_period_always_prime(fragmented_trace):
+    for uarch in (MAGNY_COURS, WESTMERE, IVY_BRIDGE):
+        execution = Machine(uarch).attach(fragmented_trace)
+        rec = recommend_method(execution, nominal_period=123_456)
+        assert is_prime(rec.base_period)

@@ -1,0 +1,72 @@
+"""Unit tests for run_method / evaluate_method."""
+
+import numpy as np
+import pytest
+
+from repro import IVY_BRIDGE, MAGNY_COURS, Machine
+from repro.core.runner import evaluate_method, run_method
+from repro.instrumentation import collect_reference
+
+
+def test_run_method_returns_normalized_profile(branchy_execution):
+    profile, batch = run_method(branchy_execution, "precise", 50, rng=0)
+    assert profile.method == "precise"
+    assert profile.total_estimate == pytest.approx(
+        branchy_execution.num_instructions
+    )
+    assert batch.num_samples > 0
+
+
+def test_run_method_unnormalized(branchy_execution):
+    profile, batch = run_method(
+        branchy_execution, "precise", 50, rng=0, normalize=False
+    )
+    assert profile.total_estimate == pytest.approx(
+        float(batch.period_weights.sum())
+    )
+
+
+def test_run_method_accepts_generator_and_seed(branchy_execution):
+    p1, _ = run_method(branchy_execution, "classic", 50,
+                       rng=np.random.default_rng(5))
+    p2, _ = run_method(branchy_execution, "classic", 50, rng=5)
+    assert np.allclose(p1.block_instr_estimates, p2.block_instr_estimates)
+
+
+def test_evaluate_method_repeats(branchy_execution):
+    stats = evaluate_method(branchy_execution, "precise", 50,
+                            seeds=range(4))
+    assert stats.repeats == 4
+    assert stats.method == "precise"
+    assert 0 <= stats.mean_error <= 2.0
+
+
+def test_evaluate_method_deterministic_in_seeds(branchy_execution):
+    a = evaluate_method(branchy_execution, "classic", 50, seeds=[1, 2])
+    b = evaluate_method(branchy_execution, "classic", 50, seeds=[1, 2])
+    assert a.errors == b.errors
+
+
+def test_evaluate_accepts_precomputed_reference(branchy_execution):
+    ref = collect_reference(branchy_execution.trace)
+    stats = evaluate_method(branchy_execution, "precise", 50,
+                            seeds=[0], reference=ref)
+    assert stats.repeats == 1
+
+
+def test_all_methods_run_on_their_machines():
+    from repro.core.methods import METHOD_KEYS, method_available
+    from repro.cpu.uarch import ALL_UARCHES
+    from repro.cpu.interpreter import run_program
+    from repro.cpu.trace import Trace
+    from tests.conftest import build_branchy
+
+    program = build_branchy(iterations=600, seed=4)
+    trace = Trace(program, run_program(program).block_seq)
+    for uarch in ALL_UARCHES:
+        execution = Machine(uarch).attach(trace)
+        for key in METHOD_KEYS:
+            if not method_available(key, uarch):
+                continue
+            profile, _ = run_method(execution, key, 64, rng=0)
+            assert profile.total_estimate > 0, (uarch.name, key)

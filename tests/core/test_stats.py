@@ -1,0 +1,73 @@
+"""Unit and property tests for repeat statistics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisError
+from repro.core.stats import (
+    AccuracyStats,
+    geometric_mean,
+    improvement_factor,
+    summarize_errors,
+)
+
+
+def test_stats_basic():
+    stats = summarize_errors("m", [0.1, 0.2, 0.3])
+    assert stats.mean_error == pytest.approx(0.2)
+    assert stats.min_error == pytest.approx(0.1)
+    assert stats.max_error == pytest.approx(0.3)
+    assert stats.repeats == 3
+    assert "±" in str(stats)
+
+
+def test_empty_errors_rejected():
+    with pytest.raises(AnalysisError, match="no error samples"):
+        summarize_errors("m", [])
+
+
+def test_negative_errors_rejected():
+    with pytest.raises(AnalysisError):
+        summarize_errors("m", [-0.1])
+
+
+def test_improvement_factor():
+    assert improvement_factor(1.0, 0.5) == pytest.approx(2.0)
+    assert improvement_factor(0.5, 1.0) == pytest.approx(0.5)
+    assert improvement_factor(1.0, 0.0) == float("inf")
+    assert improvement_factor(0.0, 0.0) == 1.0
+    with pytest.raises(AnalysisError):
+        improvement_factor(-1.0, 1.0)
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([3.0]) == pytest.approx(3.0)
+    with pytest.raises(AnalysisError):
+        geometric_mean([])
+    with pytest.raises(AnalysisError):
+        geometric_mean([0.0, 1.0])
+
+
+@given(st.lists(st.floats(min_value=1e-6, max_value=1e6), min_size=1,
+                max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_stats_bounds(errors):
+    stats = summarize_errors("m", errors)
+    # Allow a few ulps of float slack: the mean of identical values can
+    # round a hair past the max.
+    slack = 1e-12 * max(1.0, stats.max_error)
+    assert stats.min_error <= stats.mean_error + slack
+    assert stats.mean_error <= stats.max_error + slack
+    assert stats.std_error >= 0
+
+
+@given(
+    st.floats(min_value=1e-6, max_value=1e6),
+    st.floats(min_value=1e-6, max_value=1e6),
+)
+@settings(max_examples=100, deadline=None)
+def test_improvement_factor_antisymmetry(a, b):
+    assert improvement_factor(a, b) == pytest.approx(
+        1.0 / improvement_factor(b, a)
+    )

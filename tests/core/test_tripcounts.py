@@ -1,0 +1,116 @@
+"""Unit tests for LBR-based loop trip-count estimation."""
+
+import numpy as np
+import pytest
+
+from repro import IVY_BRIDGE, Machine, ProgramBuilder
+from repro.errors import AnalysisError
+from repro.cpu.interpreter import run_program
+from repro.cpu.trace import Trace
+from repro.core.tripcounts import (
+    estimate_tripcounts,
+    find_loop_backedges,
+    true_mean_trips,
+)
+from repro.pmu.events import taken_branches_event
+from repro.pmu.periods import PeriodPolicy
+from repro.pmu.sampler import Sampler, SamplingConfig
+
+
+def build_nested_loops(outer: int = 400, inner: int = 7):
+    """Outer loop of ``outer`` iterations, inner loop of ``inner`` trips."""
+    b = ProgramBuilder("nested")
+    f = b.function("main")
+    f.block("entry")
+    f.li(0, outer)
+    f.block("outer_head")
+    f.alu_burst(3)
+    f.li(1, inner)
+    f.jmp("inner_loop")
+    f.block("inner_loop")
+    f.alu_burst(4)
+    f.subi(1, 1, 1)
+    f.bnei(1, 0, "inner_loop")
+    f.block("outer_latch")
+    f.subi(0, 0, 1)
+    f.bnei(0, 0, "outer_head")
+    f.block("exit")
+    f.halt()
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def nested_execution():
+    program = build_nested_loops()
+    return Machine(IVY_BRIDGE).execute(program)
+
+
+def test_find_backedges(nested_execution):
+    program = nested_execution.program
+    backedges = find_loop_backedges(program)
+    labels = {program.blocks[b].label for b in backedges}
+    assert labels == {"main.inner_loop", "main.outer_latch"}
+
+
+def test_true_mean_trips(nested_execution):
+    program = nested_execution.program
+    trace = nested_execution.trace
+    inner = program.block("main.inner_loop").index
+    assert true_mean_trips(trace, inner) == pytest.approx(7.0)
+    outer = program.block("main.outer_latch").index
+    assert true_mean_trips(trace, outer) == pytest.approx(400.0)
+
+
+def test_requires_lbr(nested_execution):
+    config = SamplingConfig(
+        event=taken_branches_event(IVY_BRIDGE),
+        period=PeriodPolicy(base=11),
+    )
+    batch = Sampler(nested_execution).collect(config,
+                                              np.random.default_rng(0))
+    with pytest.raises(AnalysisError, match="requires LBR"):
+        estimate_tripcounts(batch)
+
+
+def test_estimates_recover_inner_trip_count(nested_execution):
+    config = SamplingConfig(
+        event=taken_branches_event(IVY_BRIDGE),
+        period=PeriodPolicy(base=13),
+        collect_lbr=True,
+    )
+    batch = Sampler(nested_execution).collect(config,
+                                              np.random.default_rng(1))
+    estimates = {e.label: e for e in estimate_tripcounts(batch)}
+    inner = estimates["main.inner_loop"]
+    assert inner.true_mean_trips == pytest.approx(7.0)
+    # Dense LBR coverage: within 30% of the truth.
+    assert inner.relative_error < 0.3
+
+
+def test_unexecuted_loop_reports_zero():
+    b = ProgramBuilder("dead_loop")
+    f = b.function("main")
+    f.block("entry")
+    f.li(0, 0)
+    f.beqi(0, 0, "exit")
+    f.block("loop")
+    f.alu_burst(2)
+    f.subi(0, 0, 1)
+    f.bnei(0, 0, "loop")
+    f.block("fall")
+    f.nop()
+    f.block("exit")
+    f.halt()
+    program = b.build()
+    execution = Machine(IVY_BRIDGE).execute(program)
+    config = SamplingConfig(
+        event=taken_branches_event(IVY_BRIDGE),
+        period=PeriodPolicy(base=2),
+        collect_lbr=True,
+    )
+    batch = Sampler(execution).collect(config, np.random.default_rng(0))
+    estimates = {e.label: e for e in estimate_tripcounts(batch)}
+    dead = estimates["main.loop"]
+    assert dead.true_mean_trips == 0.0
+    assert dead.estimated_mean_trips == 0.0
+    assert dead.relative_error == 0.0

@@ -1,0 +1,74 @@
+"""Unit tests for tool-side batch validation."""
+
+import numpy as np
+import pytest
+
+from repro import IVY_BRIDGE, Machine
+from repro.errors import AnalysisError
+from repro.core.validation import assert_healthy, diagnose_batch
+from repro.pmu.events import Precision, instructions_event
+from repro.pmu.periods import PeriodPolicy, Randomization
+from repro.pmu.sampler import Sampler, SamplingConfig
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def callchain_execution():
+    program = get_workload("callchain").build(scale=0.15)
+    return Machine(IVY_BRIDGE).execute(program)
+
+
+def _collect(execution, base, randomization=Randomization.NONE):
+    config = SamplingConfig(
+        event=instructions_event(IVY_BRIDGE, Precision.PEBS),
+        period=PeriodPolicy(base=base, randomization=randomization),
+    )
+    return Sampler(execution).collect(config, np.random.default_rng(0))
+
+
+def test_resonant_batch_flagged(callchain_execution):
+    # Round period 400 resonates with the 200-instruction iteration.
+    batch = _collect(callchain_execution, 400)
+    diagnostics = diagnose_batch(batch)
+    assert diagnostics.resonance_suspected
+    assert any("synchronization" in w for w in diagnostics.warnings())
+    with pytest.raises(AnalysisError, match="synchronization"):
+        assert_healthy(batch)
+
+
+def test_randomized_batch_healthy(callchain_execution):
+    batch = _collect(callchain_execution, 400,
+                     randomization=Randomization.SOFTWARE)
+    diagnostics = diagnose_batch(batch)
+    assert not diagnostics.resonance_suspected
+    assert_healthy(batch)  # should not raise
+
+
+def test_prime_period_healthy(callchain_execution):
+    batch = _collect(callchain_execution, 401)
+    assert not diagnose_batch(batch).resonance_suspected
+
+
+def test_too_few_samples_warned(callchain_execution):
+    total = callchain_execution.num_instructions
+    batch = _collect(callchain_execution, max(32, total // 20))
+    warnings = diagnose_batch(batch).warnings()
+    assert any("statistical noise" in w for w in warnings)
+
+
+def test_empty_batch_diagnostics(callchain_execution):
+    batch = _collect(callchain_execution, 401)
+    # Empty out the batch to exercise the degenerate path.
+    batch.reported_idx = batch.reported_idx[:0]
+    batch.trigger_idx = batch.trigger_idx[:0]
+    batch.period_weights = batch.period_weights[:0]
+    diagnostics = diagnose_batch(batch)
+    assert diagnostics.num_samples == 0
+    assert diagnostics.block_coverage == 0.0
+
+
+def test_coverage_in_unit_interval(callchain_execution):
+    batch = _collect(callchain_execution, 101)
+    diagnostics = diagnose_batch(batch)
+    assert 0.0 < diagnostics.block_coverage <= 1.0
+    assert 0.0 < diagnostics.address_diversity <= 1.0

@@ -1,0 +1,49 @@
+"""Unit tests for the Machine/Execution façade."""
+
+import numpy as np
+
+from repro import IVY_BRIDGE, MAGNY_COURS, WESTMERE, Machine
+
+from tests.conftest import build_counted_loop
+
+
+def test_execute_produces_trace():
+    program = build_counted_loop(iterations=10)
+    execution = Machine(IVY_BRIDGE).execute(program)
+    assert execution.num_instructions > 0
+    assert execution.trace.program is program
+    assert execution.uarch is IVY_BRIDGE
+
+
+def test_attach_shares_trace():
+    program = build_counted_loop(iterations=10)
+    first = Machine(IVY_BRIDGE).execute(program)
+    second = Machine(MAGNY_COURS).attach(first.trace)
+    assert second.trace is first.trace
+    assert second.uarch is MAGNY_COURS
+
+
+def test_retire_cycles_cached_and_monotonic():
+    program = build_counted_loop(iterations=20)
+    execution = Machine(WESTMERE).execute(program)
+    cycles = execution.retire_cycles
+    assert cycles is execution.retire_cycles  # cached
+    assert (np.diff(cycles) >= 0).all()
+    assert execution.total_cycles == int(cycles[-1])
+
+
+def test_ipc_bounded_by_retire_width():
+    program = build_counted_loop(iterations=200, body_pad=10)
+    for uarch in (WESTMERE, IVY_BRIDGE, MAGNY_COURS):
+        execution = Machine(uarch).attach(
+            Machine(uarch).execute(program).trace
+        )
+        assert 0 < execution.ipc <= uarch.retire_width
+
+
+def test_timing_differs_across_machines():
+    program = build_counted_loop(iterations=100, body_pad=8)
+    trace = Machine(IVY_BRIDGE).execute(program).trace
+    ivb = Machine(IVY_BRIDGE).attach(trace)
+    amd = Machine(MAGNY_COURS).attach(trace)
+    assert ivb.total_cycles != amd.total_cycles

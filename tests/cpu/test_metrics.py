@@ -1,0 +1,53 @@
+"""Unit tests for execution metrics."""
+
+import pytest
+
+from repro import IVY_BRIDGE, Machine
+from repro.cpu.metrics import collect_metrics
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def latency_metrics():
+    program = get_workload("latency_biased").build(scale=0.02)
+    return collect_metrics(Machine(IVY_BRIDGE).execute(program))
+
+
+@pytest.fixture(scope="module")
+def test40_metrics():
+    program = get_workload("test40").build(scale=0.02)
+    return collect_metrics(Machine(IVY_BRIDGE).execute(program))
+
+
+def test_basic_counts(latency_metrics):
+    assert latency_metrics.instructions > 0
+    assert latency_metrics.cycles > 0
+    assert 0 < latency_metrics.ipc <= IVY_BRIDGE.retire_width
+
+
+def test_latency_biased_is_stall_bound(latency_metrics):
+    # Half the iterations run a 22-cycle divide: stalls dominate.
+    assert latency_metrics.is_stall_bound()
+    assert latency_metrics.stall_cycles_per_instruction > 0.3
+
+
+def test_latency_biased_is_kernel_like(latency_metrics):
+    # One taken branch per 10-instruction iteration... the parity branch is
+    # taken every other iteration, so ~2 taken branches / 20 instructions.
+    assert latency_metrics.instructions_per_taken_branch > 5
+
+
+def test_test40_is_fragmented(test40_metrics):
+    assert test40_metrics.is_fragmented()
+    assert not test40_metrics.is_kernel_like()
+
+
+def test_mispredict_rates_differ(latency_metrics, test40_metrics):
+    # The parity branch is learned; test40's data-driven branches are not.
+    assert test40_metrics.mispredict_rate > latency_metrics.mispredict_rate
+
+
+def test_stall_fractions_bounded(latency_metrics, test40_metrics):
+    for metrics in (latency_metrics, test40_metrics):
+        assert 0.0 <= metrics.stall_instruction_fraction <= 1.0
+        assert 0.0 <= metrics.stall_cycle_fraction <= 1.0

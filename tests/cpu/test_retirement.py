@@ -1,0 +1,99 @@
+"""Unit tests for the retirement-timing model."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.retirement import head_occupancy, next_to_retire, retirement_cycles
+from repro.cpu.uarch import IVY_BRIDGE, MAGNY_COURS
+from repro.isa.opcodes import LatencyClass
+
+_SINGLE = int(LatencyClass.SINGLE)
+_LONG = int(LatencyClass.LONG)
+
+
+def test_monotonic_nondecreasing():
+    lat = np.full(100, _SINGLE, dtype=np.int8)
+    cycles = retirement_cycles(lat, IVY_BRIDGE)
+    assert (np.diff(cycles) >= 0).all()
+
+
+def test_bursts_of_retire_width():
+    lat = np.full(16, _SINGLE, dtype=np.int8)
+    cycles = retirement_cycles(lat, IVY_BRIDGE)
+    # With no stalls, exactly retire_width instructions share each cycle.
+    counts = np.bincount(cycles)
+    assert (counts == IVY_BRIDGE.retire_width).all()
+
+
+def test_long_latency_stalls_shift_everything():
+    lat = np.full(40, _SINGLE, dtype=np.int8)
+    lat[10] = _LONG
+    smooth = retirement_cycles(np.full(40, _SINGLE, dtype=np.int8), IVY_BRIDGE)
+    stalled = retirement_cycles(lat, IVY_BRIDGE)
+    visible = (
+        IVY_BRIDGE.latency_cycles[LatencyClass.LONG]
+        - IVY_BRIDGE.ooo_hide_cycles
+    )
+    assert (stalled[:10] == smooth[:10]).all()
+    assert (stalled[10:] == smooth[10:] + visible).all()
+
+
+def test_hidden_latency_costs_nothing():
+    lat = np.full(40, int(LatencyClass.SHORT), dtype=np.int8)
+    short = retirement_cycles(lat, IVY_BRIDGE)
+    single = retirement_cycles(np.full(40, _SINGLE, dtype=np.int8), IVY_BRIDGE)
+    assert (short == single).all()
+
+
+def test_retire_width_difference():
+    lat = np.full(12, _SINGLE, dtype=np.int8)
+    ivb = retirement_cycles(lat, IVY_BRIDGE)     # width 4
+    amd = retirement_cycles(lat, MAGNY_COURS)    # width 3
+    assert ivb[-1] < amd[-1]
+
+
+def test_mispredict_penalty_applies_after_branch():
+    lat = np.full(20, _SINGLE, dtype=np.int8)
+    base = retirement_cycles(lat, IVY_BRIDGE)
+    bumped = retirement_cycles(
+        lat, IVY_BRIDGE, mispredict_positions=np.asarray([5], dtype=np.int64)
+    )
+    assert (bumped[:6] == base[:6]).all()
+    assert (
+        bumped[6:] == base[6:] + IVY_BRIDGE.mispredict_penalty_cycles
+    ).all()
+
+
+def test_mispredict_at_end_is_safe():
+    lat = np.full(8, _SINGLE, dtype=np.int8)
+    cycles = retirement_cycles(
+        lat, IVY_BRIDGE, mispredict_positions=np.asarray([7], dtype=np.int64)
+    )
+    assert cycles.size == 8
+
+
+def test_head_occupancy_sums_to_span():
+    lat = np.full(32, _SINGLE, dtype=np.int8)
+    lat[8] = _LONG
+    cycles = retirement_cycles(lat, IVY_BRIDGE)
+    occ = head_occupancy(cycles)
+    assert occ.sum() == cycles[-1] + 1
+    # The stalled instruction dominates occupancy.
+    assert occ.argmax() == 8
+
+
+def test_next_to_retire_parks_on_stall():
+    lat = np.full(32, _SINGLE, dtype=np.int8)
+    lat[8] = _LONG
+    cycles = retirement_cycles(lat, IVY_BRIDGE)
+    # Any query cycle inside the stall window resolves to instruction 8.
+    stall_start = cycles[7] + 1
+    queries = np.arange(stall_start, cycles[8] + 1)
+    found = next_to_retire(cycles, queries)
+    assert (found == 8).all()
+
+
+def test_next_to_retire_past_end():
+    lat = np.full(8, _SINGLE, dtype=np.int8)
+    cycles = retirement_cycles(lat, IVY_BRIDGE)
+    assert next_to_retire(cycles, np.asarray([cycles[-1] + 100]))[0] == 8

@@ -1,0 +1,34 @@
+"""Unit tests for the exact reference instrumentation."""
+
+import numpy as np
+
+from repro.instrumentation import collect_reference
+
+
+def test_counts_match_trace(branchy_trace):
+    ref = collect_reference(branchy_trace)
+    assert (ref.block_exec_counts == branchy_trace.block_exec_counts).all()
+    assert ref.net_instruction_count == branchy_trace.num_instructions
+
+
+def test_instruction_counts_are_exec_times_size(branchy_trace):
+    ref = collect_reference(branchy_trace)
+    sizes = branchy_trace.program.tables.block_sizes
+    assert (ref.block_instr_counts == ref.block_exec_counts * sizes).all()
+
+
+def test_function_aggregation(call_trace):
+    ref = collect_reference(call_trace)
+    per_function = ref.function_instr_counts()
+    assert per_function.sum() == ref.net_instruction_count
+    names = call_trace.program.function_names()
+    helper = per_function[names.index("helper")]
+    # helper: 5 instructions (4 ALU + ret) x 20 calls.
+    assert helper == 100
+
+
+def test_reference_is_exact_by_construction(kernel_traces):
+    for name, trace in kernel_traces.items():
+        ref = collect_reference(trace)
+        assert ref.net_instruction_count == trace.num_instructions, name
+        assert (ref.block_instr_counts >= 0).all()

@@ -1,0 +1,109 @@
+"""End-to-end integration tests: the paper's qualitative results at small
+scale.
+
+These assert *shapes* (orderings, coarse factors) with generous margins, so
+they stay robust to seed noise while still catching regressions in any layer
+of the stack.
+"""
+
+import pytest
+
+from repro import IVY_BRIDGE, MAGNY_COURS, Machine, WESTMERE
+from repro.core.runner import evaluate_method
+from repro.cpu.interpreter import run_program
+from repro.cpu.trace import Trace
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def latency_execution():
+    program = get_workload("latency_biased").build(scale=0.25)
+    return Machine(IVY_BRIDGE).execute(program)
+
+
+@pytest.fixture(scope="module")
+def callchain_execution():
+    program = get_workload("callchain").build(scale=0.25)
+    return Machine(IVY_BRIDGE).execute(program)
+
+
+def _err(execution, method, period=400, seeds=range(3)):
+    return evaluate_method(execution, method, period, seeds=seeds).mean_error
+
+
+def test_synchronization_round_vs_prime(callchain_execution):
+    """Error source 1 (Section 3.1): round periods resonate with the loop,
+    prime periods break the resonance."""
+    round_err = _err(callchain_execution, "precise")
+    prime_err = _err(callchain_execution, "precise_prime")
+    assert round_err > 4 * prime_err
+
+
+def test_randomization_breaks_synchronization(callchain_execution):
+    round_err = _err(callchain_execution, "precise")
+    rand_err = _err(callchain_execution, "precise_rand")
+    assert round_err > 4 * rand_err
+
+
+def test_pdir_beats_pebs_on_latency_biased(latency_execution):
+    """Section 5.1: the precisely distributed event especially improves the
+    Latency-Biased kernel."""
+    pebs = _err(latency_execution, "precise_prime_rand")
+    pdir = _err(latency_execution, "pdir_fix")
+    assert pdir < pebs / 2
+
+
+def test_lbr_beats_classic_on_every_kernel():
+    """Section 5.1: LBR-based methods significantly reduce kernel errors."""
+    for name in ("latency_biased", "g4box", "test40"):
+        program = get_workload(name).build(scale=0.25)
+        execution = Machine(IVY_BRIDGE).execute(program)
+        classic = _err(execution, "classic")
+        lbr = _err(execution, "lbr")
+        assert lbr < classic / 2, name
+
+
+def test_callchain_pdir_fix_beats_lbr(callchain_execution):
+    """Section 5.1: on the Callchain kernel, PDIR + the IP+1 fix gives the
+    best results (LBR windows are phase-biased on call-chain code)."""
+    lbr = _err(callchain_execution, "lbr")
+    pdir = _err(callchain_execution, "pdir_fix")
+    assert pdir < lbr
+
+
+def test_amd_burdened_on_latency_biased():
+    """Section 5.1: AMD error rates are high (uop-granularity IBS, no
+    precise instruction event)."""
+    program = get_workload("latency_biased").build(scale=0.25)
+    trace = Machine(MAGNY_COURS).execute(program).trace
+    amd = Machine(MAGNY_COURS).attach(trace)
+    ivb = Machine(IVY_BRIDGE).attach(trace)
+    amd_err = _err(amd, "precise_prime")
+    ivb_pdir = _err(ivb, "pdir_fix")
+    assert amd_err > 3 * ivb_pdir
+
+
+def test_westmere_lacks_pdir_boost():
+    """Section 5.1: accuracy boosts from PDIR are not observed on Westmere,
+    where the event is not featured."""
+    from repro.core.methods import method_available
+    assert not method_available("pdir_fix", WESTMERE)
+    assert method_available("precise_fix", WESTMERE)
+
+
+def test_profiles_sum_to_instruction_count(latency_execution):
+    from repro.core.runner import run_method
+    profile, _ = run_method(latency_execution, "lbr", 400, rng=0)
+    assert profile.total_estimate == pytest.approx(
+        latency_execution.num_instructions
+    )
+
+
+def test_trace_reuse_across_machines_matches_fresh_execution():
+    program = get_workload("g4box").build(scale=0.05)
+    fresh = Machine(WESTMERE).execute(program)
+    shared = Machine(WESTMERE).attach(
+        Machine(IVY_BRIDGE).execute(program).trace
+    )
+    assert fresh.num_instructions == shared.num_instructions
+    assert (fresh.retire_cycles == shared.retire_cycles).all()

@@ -1,0 +1,183 @@
+"""Property-based tests of the full pipeline on random programs.
+
+Hypothesis generates random-but-valid programs (loops, diamonds, calls);
+every pipeline invariant must hold regardless of shape:
+
+* trace conservation (instructions, blocks, taken branches),
+* LBR segment exactness (every block in a segment's range executed once),
+* IP+1 fix exactness under PDIR (corrected block == trigger block),
+* attribution mass conservation and metric bounds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import IVY_BRIDGE, Machine
+from repro.cpu.interpreter import run_program
+from repro.cpu.trace import Trace
+from repro.instrumentation import collect_reference
+from repro.isa.builder import ProgramBuilder
+from repro.core.accuracy import profile_error
+from repro.core.attribution import attribute_plain
+from repro.core.ip_fix import corrected_blocks
+from repro.core.lbr_counts import attribute_lbr
+from repro.pmu.events import Precision, instructions_event, \
+    taken_branches_event
+from repro.pmu.periods import PeriodPolicy
+from repro.pmu.sampler import Sampler, SamplingConfig
+
+
+@st.composite
+def programs_with_calls(draw):
+    """Random programs with loops, data-driven diamonds, and helper calls."""
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 16, size=64, dtype=np.int64)
+    n_helpers = draw(st.integers(min_value=0, max_value=3))
+
+    b = ProgramBuilder("prop", data=data)
+    f = b.function("main")
+    f.block("entry")
+    f.li(0, draw(st.integers(min_value=5, max_value=60)))
+    f.li(1, 0)
+    f.block("head")
+    f.load(2, 1)
+    segments = draw(st.integers(min_value=1, max_value=4))
+    for i in range(segments):
+        shape = draw(st.sampled_from(["work", "diamond", "loop", "call"]))
+        if shape == "work":
+            f.alu_burst(draw(st.integers(min_value=1, max_value=6)))
+        elif shape == "diamond":
+            f.shr(3, 2, i)
+            f.bnei(3, 0, f"skip{i}")
+            f.block(f"body{i}")
+            f.alu_burst(draw(st.integers(min_value=1, max_value=3)))
+            f.block(f"skip{i}")
+            f.nop()
+        elif shape == "loop":
+            f.li(4, draw(st.integers(min_value=1, max_value=5)))
+            f.jmp(f"loop{i}")
+            f.block(f"loop{i}")
+            f.alu_burst(2)
+            f.subi(4, 4, 1)
+            f.bnei(4, 0, f"loop{i}")
+            f.block(f"after{i}")
+            f.nop()
+        elif shape == "call" and n_helpers:
+            f.call(f"helper{draw(st.integers(0, n_helpers - 1))}")
+            f.block(f"cont{i}")
+            f.nop()
+        else:
+            f.alu_burst(2)
+    f.block("latch")
+    f.addi(1, 1, 1)
+    f.subi(0, 0, 1)
+    f.bnei(0, 0, "head")
+    f.block("exit")
+    f.halt()
+
+    for h in range(n_helpers):
+        helper = b.function(f"helper{h}")
+        helper.block("body")
+        helper.alu_burst(draw(st.integers(min_value=1, max_value=5)))
+        if draw(st.booleans()):
+            helper.fadd()
+        helper.ret()
+    return b.build()
+
+
+@given(programs_with_calls())
+@settings(max_examples=25, deadline=None)
+def test_trace_conservation(program):
+    trace = Trace(program, run_program(program).block_seq)
+    ref = collect_reference(trace)
+    assert ref.net_instruction_count == trace.num_instructions
+    assert trace.block_instr_counts.sum() == trace.num_instructions
+    assert trace.taken_mask.sum() == trace.num_taken_branches
+    assert trace.cumulative_taken[-1] == trace.num_taken_branches
+
+
+@given(programs_with_calls())
+@settings(max_examples=15, deadline=None)
+def test_lbr_segments_exact(program):
+    trace = Trace(program, run_program(program).block_seq)
+    if trace.num_taken_branches < 3:
+        return
+    positions = trace.taken_positions
+    sizes = program.tables.block_sizes
+    # Every inter-branch gap covers each block in its range exactly once.
+    for k in range(min(40, positions.size - 1)):
+        lo = int(positions[k]) + 1
+        hi = int(positions[k + 1])
+        executed = trace.instr_block[lo:hi + 1]
+        blocks, counts = np.unique(executed, return_counts=True)
+        assert (counts == sizes[blocks]).all()
+        assert (np.diff(blocks) == 1).all()  # address-contiguous range
+
+
+@given(programs_with_calls(), st.integers(min_value=3, max_value=40))
+@settings(max_examples=15, deadline=None)
+def test_ip_fix_recovers_trigger_exactly(program, period):
+    execution = Machine(IVY_BRIDGE).execute(program)
+    config = SamplingConfig(
+        event=instructions_event(IVY_BRIDGE, Precision.PDIR),
+        period=PeriodPolicy(base=period),
+        collect_lbr=True,
+    )
+    batch = Sampler(execution).collect(config, np.random.default_rng(0))
+    if batch.num_samples == 0:
+        return
+    corrected = corrected_blocks(batch)
+    expected = execution.trace.instr_block[batch.trigger_idx]
+    assert (corrected == expected).all()
+
+
+@given(programs_with_calls(), st.integers(min_value=5, max_value=50))
+@settings(max_examples=15, deadline=None)
+def test_attribution_mass_and_metric_bounds(program, period):
+    execution = Machine(IVY_BRIDGE).execute(program)
+    config = SamplingConfig(
+        event=instructions_event(IVY_BRIDGE, Precision.PEBS),
+        period=PeriodPolicy(base=period),
+    )
+    batch = Sampler(execution).collect(config, np.random.default_rng(1))
+    profile = attribute_plain(batch)
+    assert profile.total_estimate == pytest.approx(
+        batch.num_samples * period
+    )
+    if profile.total_estimate > 0:
+        normalized = profile.normalized_to(execution.num_instructions)
+        result = profile_error(normalized, collect_reference(execution.trace))
+        assert 0.0 <= result.error <= 2.0 + 1e-9
+
+
+@given(programs_with_calls())
+@settings(max_examples=10, deadline=None)
+def test_dense_lbr_accounting_converges(program):
+    execution = Machine(IVY_BRIDGE).execute(program)
+    trace = execution.trace
+    # Short traces are dominated by edge effects (the gaps before the first
+    # and after the last delivery are never covered); require enough
+    # branches for the steady-state property to be meaningful.
+    if trace.num_taken_branches < 300:
+        return
+    config = SamplingConfig(
+        event=taken_branches_event(IVY_BRIDGE),
+        period=PeriodPolicy(base=2),
+        collect_lbr=True,
+    )
+    batch = Sampler(execution).collect(config, np.random.default_rng(2))
+    profile = attribute_lbr(batch)
+    if profile.total_estimate == 0:
+        return
+    normalized = profile.normalized_to(trace.num_instructions)
+    error = profile_error(normalized, collect_reference(trace)).error
+    # Sampling every 2nd branch with a 16-deep stack covers nearly every
+    # gap. Residual error comes from skid-funneled window anchoring, which
+    # density cannot remove and whose magnitude is shape-dependent — the
+    # paper's own LBR caveat ("errors can still reach 30-50% ... for some
+    # basic blocks"). The aggregate must stay inside that band for *every*
+    # program shape; the tight (<0.10) bound is asserted on a fixed program
+    # in tests/core/test_lbr_counts.py.
+    assert error < 0.5

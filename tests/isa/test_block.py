@@ -1,0 +1,82 @@
+"""Unit tests for basic blocks."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.block import BasicBlock, BlockKind
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+def _block(*instrs) -> BasicBlock:
+    return BasicBlock("f.b", list(instrs))
+
+
+def test_empty_label_rejected():
+    with pytest.raises(ProgramError):
+        BasicBlock("")
+
+
+def test_fall_block_kind():
+    block = _block(Instruction(Opcode.NOP), Instruction(Opcode.ADDI, dst=0,
+                                                        src1=0, imm=1))
+    assert block.kind is BlockKind.FALL
+    assert block.terminator is None
+    assert block.taken_label is None
+
+
+@pytest.mark.parametrize("opcode,kind", [
+    (Opcode.JMP, BlockKind.JMP),
+    (Opcode.CALL, BlockKind.CALL),
+    (Opcode.ICALL, BlockKind.ICALL),
+    (Opcode.RET, BlockKind.RET),
+    (Opcode.HALT, BlockKind.HALT),
+])
+def test_terminator_kinds(opcode, kind):
+    extra = {}
+    if opcode is Opcode.JMP:
+        extra = {"target": "f.t"}
+    elif opcode is Opcode.CALL:
+        extra = {"target": "g"}
+    elif opcode is Opcode.ICALL:
+        extra = {"src1": 1, "itable": ("g",)}
+    block = _block(Instruction(Opcode.NOP), Instruction(opcode, **extra))
+    assert block.kind is kind
+
+
+def test_cond_kind_and_taken_label():
+    block = _block(
+        Instruction(Opcode.NOP),
+        Instruction(Opcode.BNEI, src1=0, imm=0, target="f.head"),
+    )
+    assert block.kind is BlockKind.COND
+    assert block.taken_label == "f.head"
+
+
+def test_size_and_byte_size():
+    block = _block(Instruction(Opcode.NOP), Instruction(Opcode.NOP),
+                   Instruction(Opcode.RET))
+    assert block.size == 3
+    assert block.byte_size == 12
+
+
+def test_validate_rejects_mid_block_branch():
+    block = _block(
+        Instruction(Opcode.JMP, target="f.t"),
+        Instruction(Opcode.NOP),
+    )
+    with pytest.raises(ProgramError, match="before the final instruction"):
+        block.validate()
+
+
+def test_validate_rejects_empty_block():
+    with pytest.raises(ProgramError, match="empty"):
+        BasicBlock("f.b").validate()
+
+
+def test_addresses_require_layout():
+    block = _block(Instruction(Opcode.NOP))
+    # Pre-layout addresses are the -1 sentinel; start_address exposes it
+    # rather than raising, but end_address arithmetic stays consistent.
+    assert block.start_address == -1
+    assert block.end_address == -1 + 4

@@ -1,0 +1,104 @@
+"""Unit tests for the ProgramBuilder DSL."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.builder import NUM_REGISTERS, ProgramBuilder
+from repro.isa.opcodes import Opcode
+
+
+def test_labels_are_namespaced():
+    b = ProgramBuilder("p")
+    f = b.function("main")
+    f.block("entry")
+    f.halt()
+    program = b.build()
+    assert program.blocks[0].label == "main.entry"
+    assert f.label_of("entry") == "main.entry"
+
+
+def test_emit_before_block_rejected():
+    b = ProgramBuilder("p")
+    f = b.function("main")
+    with pytest.raises(ProgramError, match="before any block"):
+        f.nop()
+
+
+def test_emit_after_terminator_rejected():
+    b = ProgramBuilder("p")
+    f = b.function("main")
+    f.block("entry")
+    f.halt()
+    with pytest.raises(ProgramError, match="already has a terminator"):
+        f.nop()
+
+
+def test_alu_burst_and_fp_burst_counts():
+    b = ProgramBuilder("p")
+    f = b.function("main")
+    f.block("entry")
+    f.alu_burst(5)
+    f.fp_burst(3)
+    f.halt()
+    program = b.build()
+    block = program.blocks[0]
+    assert block.size == 9
+    opcodes = [i.opcode for i in block.instructions]
+    assert opcodes.count(Opcode.ADDI) == 5
+    assert opcodes.count(Opcode.FADD) == 3
+
+
+def test_nop_count():
+    b = ProgramBuilder("p")
+    f = b.function("main")
+    f.block("entry")
+    f.nop(4)
+    f.halt()
+    assert b.build().blocks[0].size == 5
+
+
+def test_every_integer_op_emits():
+    b = ProgramBuilder("p")
+    f = b.function("main")
+    f.block("entry")
+    f.li(0, 7).mov(1, 0).add(2, 0, 1).addi(2, 2, 1).sub(3, 2, 0)
+    f.subi(3, 3, 1).mul(4, 0, 1).div(5, 4, 0).and_(6, 0, 1).or_(6, 6, 0)
+    f.xor(7, 6, 0).shl(8, 0, 2).shr(8, 8, 1).modi(9, 8, 3)
+    f.halt()
+    program = b.build()
+    assert program.blocks[0].size == 15
+
+
+def test_memory_ops_emit():
+    import numpy as np
+    b = ProgramBuilder("p", data=np.arange(8))
+    f = b.function("main")
+    f.block("entry")
+    f.load(1, 0).loadl(2, 0, 1).loadm(3, 0, 2).store(0, 1, 3)
+    f.halt()
+    program = b.build()
+    opcodes = [i.opcode for i in program.blocks[0].instructions]
+    assert opcodes[:4] == [Opcode.LOAD, Opcode.LOADL, Opcode.LOADM,
+                           Opcode.STORE]
+
+
+def test_first_function_is_entry_unless_overridden():
+    b = ProgramBuilder("p")
+    f = b.function("first")
+    f.block("x")
+    f.halt()
+    g = b.function("second", entry=True)
+    g.block("x")
+    g.halt()
+    assert b.build().entry == "second"
+
+
+def test_chaining_returns_builder():
+    b = ProgramBuilder("p")
+    f = b.function("main")
+    assert f.block("entry") is f
+    assert f.nop() is f
+
+
+def test_register_count_constant():
+    assert NUM_REGISTERS >= 32

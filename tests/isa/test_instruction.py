@@ -1,0 +1,50 @@
+"""Unit tests for the Instruction record."""
+
+from repro.isa.instruction import INSTRUCTION_SIZE, Instruction
+from repro.isa.opcodes import Opcode
+
+
+def test_defaults():
+    instr = Instruction(Opcode.NOP)
+    assert instr.size == INSTRUCTION_SIZE
+    assert instr.address == -1
+    assert instr.dst is None and instr.imm is None
+
+
+def test_branch_properties():
+    beq = Instruction(Opcode.BEQ, src1=1, src2=2, target="f.x")
+    assert beq.is_branch
+    assert beq.is_conditional
+    assert not beq.uses_immediate_compare
+
+    beqi = Instruction(Opcode.BEQI, src1=1, imm=0, target="f.x")
+    assert beqi.uses_immediate_compare
+
+    add = Instruction(Opcode.ADD, dst=0, src1=1, src2=2)
+    assert not add.is_branch
+    assert not add.is_conditional
+
+
+def test_op_info_accessor():
+    instr = Instruction(Opcode.DIV, dst=0, src1=1, src2=2)
+    assert instr.op_info.uops == 10
+
+
+def test_str_smoke():
+    # The debug rendering should not crash on any shape of instruction.
+    shapes = [
+        Instruction(Opcode.NOP),
+        Instruction(Opcode.LI, dst=3, imm=42),
+        Instruction(Opcode.JMP, target="f.loop"),
+        Instruction(Opcode.ICALL, src1=2, itable=("a", "b")),
+    ]
+    for instr in shapes:
+        assert isinstance(str(instr), str)
+
+
+def test_address_not_in_equality():
+    a = Instruction(Opcode.NOP)
+    b = Instruction(Opcode.NOP)
+    a.address = 0x1000
+    b.address = 0x2000
+    assert a == b

@@ -1,0 +1,80 @@
+"""Unit tests for the opcode and latency-class tables."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    CONDITIONAL_BRANCHES,
+    IMM_BRANCHES,
+    OPCODE_INFO,
+    Opcode,
+    LatencyClass,
+    REG_BRANCHES,
+    info,
+)
+
+
+def test_every_opcode_has_info():
+    for op in Opcode:
+        assert op in OPCODE_INFO, f"missing OpcodeInfo for {op.name}"
+
+
+def test_info_helper_matches_table():
+    for op in Opcode:
+        assert info(op) is OPCODE_INFO[op]
+
+
+def test_uop_counts_positive():
+    for op, inf in OPCODE_INFO.items():
+        assert inf.uops >= 1, f"{op.name} has non-positive uop count"
+
+
+def test_conditional_branches_are_branches():
+    for op in CONDITIONAL_BRANCHES:
+        inf = info(op)
+        assert inf.is_branch
+        assert inf.is_conditional
+
+
+def test_reg_and_imm_branches_partition_conditionals():
+    assert REG_BRANCHES | IMM_BRANCHES == CONDITIONAL_BRANCHES
+    assert not (REG_BRANCHES & IMM_BRANCHES)
+
+
+def test_unconditional_transfers_not_conditional():
+    for op in (Opcode.JMP, Opcode.CALL, Opcode.ICALL, Opcode.RET, Opcode.HALT):
+        inf = info(op)
+        assert inf.is_branch
+        assert not inf.is_conditional
+
+
+def test_call_ret_flags():
+    assert info(Opcode.CALL).is_call
+    assert info(Opcode.ICALL).is_call
+    assert info(Opcode.RET).is_ret
+    assert not info(Opcode.JMP).is_call
+    assert not info(Opcode.JMP).is_ret
+
+
+def test_divide_is_long_latency_multi_uop():
+    # The Latency-Biased kernel depends on the divide being costly.
+    inf = info(Opcode.DIV)
+    assert inf.latency is LatencyClass.LONG
+    assert inf.uops > 1
+
+
+def test_memory_latency_ordering():
+    ordering = [LatencyClass.MEM_L1, LatencyClass.MEM_LLC,
+                LatencyClass.MEM_DRAM]
+    assert ordering == sorted(ordering)
+    assert info(Opcode.LOAD).latency is LatencyClass.MEM_L1
+    assert info(Opcode.LOADL).latency is LatencyClass.MEM_LLC
+    assert info(Opcode.LOADM).latency is LatencyClass.MEM_DRAM
+
+
+def test_alu_ops_single_cycle_single_uop():
+    for op in (Opcode.ADD, Opcode.ADDI, Opcode.SUB, Opcode.XOR, Opcode.MOV,
+               Opcode.LI, Opcode.NOP):
+        inf = info(op)
+        assert inf.latency is LatencyClass.SINGLE
+        assert inf.uops == 1
+        assert not inf.is_branch

@@ -1,0 +1,87 @@
+"""Property-based tests for program layout invariants.
+
+A hypothesis strategy generates random (but valid-by-construction) programs
+through the builder; layout invariants must hold for all of them.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.block import BlockKind
+
+
+@st.composite
+def random_programs(draw):
+    """A random single-function program made of loop/diamond/work segments."""
+    b = ProgramBuilder("prop")
+    f = b.function("main")
+    f.block("entry")
+    f.li(0, draw(st.integers(min_value=1, max_value=30)))
+    n_segments = draw(st.integers(min_value=0, max_value=5))
+    for i in range(n_segments):
+        shape = draw(st.sampled_from(["work", "diamond", "loop"]))
+        if shape == "work":
+            f.alu_burst(draw(st.integers(min_value=1, max_value=8)))
+        elif shape == "diamond":
+            f.bnei(0, -1, f"skip{i}")
+            f.block(f"body{i}")
+            f.alu_burst(draw(st.integers(min_value=1, max_value=4)))
+            f.block(f"skip{i}")
+            f.nop()
+        else:
+            trips = draw(st.integers(min_value=1, max_value=6))
+            f.li(1, trips)
+            f.jmp(f"loop{i}")
+            f.block(f"loop{i}")
+            f.alu_burst(draw(st.integers(min_value=1, max_value=4)))
+            f.subi(1, 1, 1)
+            f.bnei(1, 0, f"loop{i}")
+            f.block(f"after{i}")
+            f.nop()
+    f.block("exit")
+    f.halt()
+    return b.build()
+
+
+@given(random_programs())
+@settings(max_examples=40, deadline=None)
+def test_layout_invariants(program):
+    tables = program.tables
+    # Addresses strictly increase block to block and cover every pool slot.
+    assert (np.diff(tables.block_start_addr) > 0).all()
+    assert tables.block_sizes.sum() == tables.pool_addr.size
+    assert (np.diff(tables.pool_addr) > 0).all()
+    # Offsets agree with block sizes.
+    expected = np.concatenate([[0], np.cumsum(tables.block_sizes[:-1])])
+    assert (tables.instr_offset == expected).all()
+
+
+@given(random_programs())
+@settings(max_examples=40, deadline=None)
+def test_every_address_maps_back(program):
+    tables = program.tables
+    found = program.block_indices_at(tables.pool_addr)
+    sizes = tables.block_sizes
+    expected = np.repeat(np.arange(program.num_blocks), sizes)
+    assert (found == expected).all()
+
+
+@given(random_programs())
+@settings(max_examples=40, deadline=None)
+def test_successor_tables_well_formed(program):
+    tables = program.tables
+    n = program.num_blocks
+    for b in range(n):
+        kind = BlockKind(tables.block_kind[b])
+        fall = tables.fall_next[b]
+        taken = tables.taken_target[b]
+        if kind in (BlockKind.FALL, BlockKind.COND, BlockKind.CALL,
+                    BlockKind.ICALL):
+            assert 0 <= fall < n
+        else:
+            assert fall == -1
+        if kind in (BlockKind.JMP, BlockKind.COND, BlockKind.CALL):
+            assert 0 <= taken < n
+        if kind is BlockKind.COND:
+            assert taken != fall

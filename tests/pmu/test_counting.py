@@ -1,0 +1,58 @@
+"""Unit tests for counting mode."""
+
+import pytest
+
+from repro import IVY_BRIDGE, MAGNY_COURS, Machine
+from repro.errors import PMUConfigError
+from repro.pmu.counting import (
+    AMD_OVERCOUNT_PER_INTERRUPT,
+    is_deterministic,
+    read_counter,
+)
+from repro.pmu.events import EventKind, get_event, instructions_event, Precision
+
+
+def test_exact_instruction_count(branchy_execution):
+    event = instructions_event(IVY_BRIDGE, Precision.IMPRECISE)
+    reading = read_counter(branchy_execution, event)
+    assert reading.true_count == branchy_execution.num_instructions
+    assert reading.counted == reading.true_count
+    assert reading.overcount == 0
+    assert reading.relative_error == 0.0
+
+
+def test_taken_branch_count(branchy_execution):
+    event = get_event(IVY_BRIDGE, "BR_INST_RETIRED.NEAR_TAKEN")
+    reading = read_counter(branchy_execution, event)
+    assert reading.true_count == branchy_execution.trace.num_taken_branches
+
+
+def test_amd_overcounts_with_interrupts(branchy_trace):
+    execution = Machine(MAGNY_COURS).attach(branchy_trace)
+    event = get_event(MAGNY_COURS, "RETIRED_INSTRUCTIONS")
+    reading = read_counter(execution, event, interrupts=100)
+    assert reading.overcount == 100 * AMD_OVERCOUNT_PER_INTERRUPT
+    assert reading.relative_error > 0
+
+
+def test_intel_clean_under_interrupts(branchy_execution):
+    event = instructions_event(IVY_BRIDGE, Precision.IMPRECISE)
+    reading = read_counter(branchy_execution, event, interrupts=100)
+    assert reading.overcount == 0
+
+
+def test_negative_interrupts_rejected(branchy_execution):
+    event = instructions_event(IVY_BRIDGE, Precision.IMPRECISE)
+    with pytest.raises(PMUConfigError, match="negative"):
+        read_counter(branchy_execution, event, interrupts=-1)
+
+
+def test_cross_vendor_event_rejected(branchy_execution):
+    ibs = get_event(MAGNY_COURS, "IBS_OP")
+    with pytest.raises(PMUConfigError):
+        read_counter(branchy_execution, ibs)
+
+
+def test_determinism(branchy_execution):
+    event = instructions_event(IVY_BRIDGE, Precision.IMPRECISE)
+    assert is_deterministic(branchy_execution, event)

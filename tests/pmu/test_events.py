@@ -1,0 +1,63 @@
+"""Unit tests for event catalogs."""
+
+import pytest
+
+from repro.errors import PMUConfigError
+from repro.cpu.uarch import IVY_BRIDGE, MAGNY_COURS, WESTMERE
+from repro.pmu.events import (
+    EventKind,
+    Precision,
+    event_catalog,
+    get_event,
+    instructions_event,
+    taken_branches_event,
+    validate_event,
+)
+
+
+def test_paper_event_names():
+    # Section 4.2 nomenclature.
+    assert get_event(IVY_BRIDGE, "INST_RETIRED.PREC_DIST").precision \
+        is Precision.PDIR
+    assert get_event(IVY_BRIDGE, "BR_INST_RETIRED.NEAR_TAKEN").kind \
+        is EventKind.TAKEN_BRANCHES
+    assert get_event(WESTMERE, "BR_INST_EXEC.TAKEN").kind \
+        is EventKind.TAKEN_BRANCHES
+    assert get_event(MAGNY_COURS, "RETIRED_INSTRUCTIONS").precision \
+        is Precision.IMPRECISE
+    assert get_event(MAGNY_COURS, "IBS_OP").kind is EventKind.UOPS
+
+
+def test_westmere_has_no_pdir_event():
+    names = [e.name for e in event_catalog(WESTMERE)]
+    assert "INST_RETIRED.PREC_DIST" not in names
+
+
+def test_fixed_counter_flags():
+    assert get_event(IVY_BRIDGE, "INST_RETIRED.ANY").fixed_counter
+    assert not any(e.fixed_counter for e in event_catalog(MAGNY_COURS))
+
+
+def test_unknown_event_rejected():
+    with pytest.raises(PMUConfigError, match="no event"):
+        get_event(IVY_BRIDGE, "BOGUS.EVENT")
+
+
+def test_validate_event_cross_vendor():
+    pebs = get_event(IVY_BRIDGE, "INST_RETIRED.ALL")
+    with pytest.raises(PMUConfigError, match="no PEBS"):
+        validate_event(MAGNY_COURS, pebs)
+    ibs = get_event(MAGNY_COURS, "IBS_OP")
+    with pytest.raises(PMUConfigError, match="no IBS"):
+        validate_event(IVY_BRIDGE, ibs)
+    pdir = get_event(IVY_BRIDGE, "INST_RETIRED.PREC_DIST")
+    with pytest.raises(PMUConfigError, match="precisely distributed"):
+        validate_event(WESTMERE, pdir)
+
+
+def test_helper_selectors():
+    assert instructions_event(IVY_BRIDGE, Precision.PEBS).name \
+        == "INST_RETIRED.ALL"
+    assert taken_branches_event(WESTMERE).name == "BR_INST_EXEC.TAKEN"
+    with pytest.raises(PMUConfigError):
+        instructions_event(MAGNY_COURS, Precision.PEBS)

@@ -1,0 +1,78 @@
+"""Unit tests for the AMD IBS capture model."""
+
+import numpy as np
+
+from repro.cpu.retirement import retirement_cycles
+from repro.cpu.uarch import MAGNY_COURS
+from repro.isa.opcodes import LatencyClass
+from repro.pmu.ibs import capture_ibs
+
+_SINGLE = int(LatencyClass.SINGLE)
+_LONG = int(LatencyClass.LONG)
+
+
+def _setup(uops_per_instr):
+    uops = np.asarray(uops_per_instr, dtype=np.int64)
+    cum = np.cumsum(uops)
+    lat = np.full(uops.size, _SINGLE, dtype=np.int8)
+    cycles = retirement_cycles(lat, MAGNY_COURS)
+    return cum, cycles
+
+
+def test_threshold_maps_to_owning_instruction():
+    # Instruction uop spans: [1], [2,3,4], [5], [6,7].
+    cum, cycles = _setup([1, 3, 1, 2])
+    thresholds = np.asarray([1, 2, 4, 5, 7], dtype=np.int64)
+    reported = capture_ibs(thresholds, cum, cycles, arming_cycles=0,
+                           quantize=False)
+    assert reported.tolist() == [0, 1, 1, 2, 3]
+
+
+def test_multi_uop_instructions_soak_samples():
+    # A 10-uop divide among single-uop ops receives ~10x the tags.
+    uops = [1] * 50 + [10] + [1] * 49
+    cum, cycles = _setup(uops)
+    thresholds = np.arange(1, int(cum[-1]) + 1, dtype=np.int64)
+    reported = capture_ibs(thresholds, cum, cycles, arming_cycles=0,
+                           quantize=False)
+    counts = np.bincount(reported, minlength=100)
+    assert counts[50] == 10
+    assert (counts[:50] == 1).all()
+
+
+def test_quantization_snaps_to_group_leaders():
+    cum, cycles = _setup([1] * 64)
+    thresholds = np.arange(1, 61, dtype=np.int64)
+    reported = capture_ibs(thresholds, cum, cycles, arming_cycles=0,
+                           dispatch_group=4, quantize=True)
+    # Tagged uop ordinals snap to 1, 5, 9, ... -> instruction 0, 4, 8, ...
+    assert (reported % 4 == 0).all()
+
+
+def test_no_quantization_when_group_is_one():
+    cum, cycles = _setup([1] * 16)
+    thresholds = np.asarray([3, 7], dtype=np.int64)
+    a = capture_ibs(thresholds, cum, cycles, arming_cycles=0,
+                    dispatch_group=1, quantize=True)
+    b = capture_ibs(thresholds, cum, cycles, arming_cycles=0, quantize=False)
+    assert (a == b).all()
+
+
+def test_arming_parks_on_stall():
+    uops = np.ones(400, dtype=np.int64)
+    lat = np.full(400, _SINGLE, dtype=np.int8)
+    lat[200] = _LONG
+    cycles = retirement_cycles(lat, MAGNY_COURS)
+    cum = np.cumsum(uops)
+    thresholds = np.arange(190, 200, dtype=np.int64)
+    reported = capture_ibs(thresholds, cum, cycles, arming_cycles=3,
+                           quantize=False)
+    assert (reported == 200).all()
+
+
+def test_capture_past_end_marked():
+    cum, cycles = _setup([1] * 8)
+    thresholds = np.asarray([8], dtype=np.int64)
+    reported = capture_ibs(thresholds, cum, cycles, arming_cycles=50,
+                           quantize=False)
+    assert reported[0] == 8  # == len(cycles): caller drops

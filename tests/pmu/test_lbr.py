@@ -1,0 +1,111 @@
+"""Unit and property tests for LBR stack reconstruction.
+
+The key invariant (Section 3.2): for consecutive stack entries
+⟨S_i, T_i⟩, ⟨S_{i+1}, T_{i+1}⟩, every basic block in the address range
+[T_i, S_{i+1}] executed exactly once between the two branches — we verify
+this against the ground-truth trace.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import PMUConfigError
+from repro.cpu.interpreter import run_program
+from repro.cpu.trace import Trace
+from repro.pmu.lbr import LBRFacility, LBRStack
+
+from tests.conftest import build_branchy
+
+
+def test_depth_validation(branchy_trace):
+    with pytest.raises(PMUConfigError, match="depth"):
+        LBRFacility(branchy_trace, 1)
+
+
+def test_stack_depth_bounded(branchy_trace):
+    facility = LBRFacility(branchy_trace, 16)
+    last = branchy_trace.num_instructions - 1
+    stack = facility.stack_at(last)
+    assert len(stack) <= 16
+
+
+def test_stack_is_suffix_of_taken_branches(branchy_trace):
+    facility = LBRFacility(branchy_trace, 8)
+    d = int(branchy_trace.taken_positions[20])
+    stack = facility.stack_at(d)
+    # Branches at positions <= d, newest last, at most 8.
+    expected = branchy_trace.taken_sources[13:21]
+    assert (stack.sources == expected).all()
+
+
+def test_stack_before_first_branch_is_empty(branchy_trace):
+    facility = LBRFacility(branchy_trace, 16)
+    first_branch = int(branchy_trace.taken_positions[0])
+    if first_branch > 0:
+        stack = facility.stack_at(first_branch - 1)
+        assert len(stack) == 0
+        assert stack.top is None
+
+
+def test_top_entry(branchy_trace):
+    facility = LBRFacility(branchy_trace, 16)
+    d = int(branchy_trace.taken_positions[10])
+    stack = facility.stack_at(d)
+    src, tgt = stack.top
+    assert src == int(branchy_trace.taken_sources[10])
+    assert tgt == int(branchy_trace.taken_targets[10])
+
+
+def test_segments_count():
+    stack = LBRStack(
+        sources=np.asarray([10, 20, 30], dtype=np.int64),
+        targets=np.asarray([12, 22, 32], dtype=np.int64),
+    )
+    segments = stack.segments()
+    assert segments == [(12, 20), (22, 30)]
+    empty = LBRStack(sources=np.zeros(1, dtype=np.int64),
+                     targets=np.zeros(1, dtype=np.int64))
+    assert empty.segments() == []
+
+
+def test_segments_cover_blocks_exactly_once(branchy_trace):
+    """Ground-truth check of the paper's LBR invariant."""
+    trace = branchy_trace
+    program = trace.program
+    facility = LBRFacility(trace, 16)
+    positions = trace.taken_positions
+    for sample_idx in (18, 25, 40):
+        d = int(positions[sample_idx])
+        stack = facility.stack_at(d)
+        start_k = sample_idx - len(stack) + 1
+        for seg_no, (tgt, src) in enumerate(stack.segments()):
+            k = start_k + seg_no
+            lo = int(positions[k]) + 1       # first instr after branch k
+            hi = int(positions[k + 1])       # the next branch instr
+            executed = trace.instr_block[lo:hi + 1]
+            blocks_executed, counts = np.unique(executed, return_counts=True)
+            # Each block between the branches executed exactly once...
+            assert (counts == program.tables.block_sizes[blocks_executed]).all()
+            # ...and the address range [tgt, src] covers exactly them.
+            first = program.block_index_at(tgt)
+            last = program.block_index_at(src)
+            assert (blocks_executed == np.arange(first, last + 1)).all()
+
+
+def test_stack_ranges_vectorized_matches_scalar(branchy_trace):
+    facility = LBRFacility(branchy_trace, 8)
+    deliveries = branchy_trace.taken_positions[5:25]
+    starts, ends = facility.stack_ranges(deliveries)
+    for i, d in enumerate(deliveries):
+        stack = facility.stack_at(int(d))
+        assert ends[i] - starts[i] == len(stack)
+
+
+def test_stacks_from_different_seeds_differ():
+    a = build_branchy(iterations=64, seed=1)
+    b = build_branchy(iterations=64, seed=2)
+    trace_a = Trace(a, run_program(a).block_seq)
+    trace_b = Trace(b, run_program(b).block_seq)
+    assert trace_a.num_taken_branches != trace_b.num_taken_branches or not (
+        trace_a.taken_positions == trace_b.taken_positions
+    ).all()

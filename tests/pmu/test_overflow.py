@@ -1,0 +1,98 @@
+"""Unit tests for overflow scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PMUConfigError
+from repro.pmu.events import EventKind
+from repro.pmu.overflow import overflow_thresholds, total_events, triggers_for
+from repro.pmu.periods import PeriodPolicy
+
+
+def test_total_events_kinds(branchy_trace):
+    assert total_events(EventKind.INSTRUCTIONS, branchy_trace) \
+        == branchy_trace.num_instructions
+    assert total_events(EventKind.UOPS, branchy_trace) \
+        == int(branchy_trace.cumulative_uops[-1])
+    assert total_events(EventKind.TAKEN_BRANCHES, branchy_trace) \
+        == branchy_trace.num_taken_branches
+
+
+def test_fixed_thresholds_spacing():
+    policy = PeriodPolicy(base=100)
+    thresholds, periods = overflow_thresholds(
+        policy, 1000, np.random.default_rng(0)
+    )
+    assert thresholds.tolist() == [100 * k for k in range(1, 11)]
+    assert (periods == 100).all()
+
+
+def test_thresholds_never_exceed_total():
+    policy = PeriodPolicy(base=64)
+    thresholds, _ = overflow_thresholds(policy, 1000,
+                                        np.random.default_rng(0))
+    assert thresholds.max() <= 1000
+
+
+def test_phase_shifts_thresholds():
+    policy = PeriodPolicy(base=100)
+    base_t, _ = overflow_thresholds(policy, 1000, np.random.default_rng(0))
+    shifted, _ = overflow_thresholds(policy, 1000, np.random.default_rng(0),
+                                     phase=7)
+    assert (shifted[: base_t.size - 1] == base_t[: base_t.size - 1] + 7).all()
+
+
+def test_negative_phase_rejected():
+    policy = PeriodPolicy(base=100)
+    with pytest.raises(PMUConfigError, match="phase"):
+        overflow_thresholds(policy, 1000, np.random.default_rng(0), phase=-1)
+
+
+def test_zero_total_yields_nothing():
+    policy = PeriodPolicy(base=100)
+    thresholds, periods = overflow_thresholds(policy, 0,
+                                              np.random.default_rng(0))
+    assert thresholds.size == 0 and periods.size == 0
+
+
+def test_instruction_triggers_are_threshold_minus_one(branchy_trace):
+    thresholds = np.asarray([1, 5, 100], dtype=np.int64)
+    triggers = triggers_for(EventKind.INSTRUCTIONS, branchy_trace, thresholds)
+    assert triggers.tolist() == [0, 4, 99]
+
+
+def test_uop_triggers_locate_owning_instruction(branchy_trace):
+    cum = branchy_trace.cumulative_uops
+    # The instruction retiring the k-th uop has cumulative count >= k and
+    # its predecessor has a smaller count.
+    thresholds = np.asarray([1, int(cum[10]), int(cum[-1])], dtype=np.int64)
+    triggers = triggers_for(EventKind.UOPS, branchy_trace, thresholds)
+    for thr, trig in zip(thresholds, triggers):
+        assert cum[trig] >= thr
+        assert trig == 0 or cum[trig - 1] < thr
+
+
+def test_taken_branch_triggers_are_branches(branchy_trace):
+    total = branchy_trace.num_taken_branches
+    thresholds = np.arange(1, total + 1, dtype=np.int64)
+    triggers = triggers_for(EventKind.TAKEN_BRANCHES, branchy_trace,
+                            thresholds)
+    assert (triggers == branchy_trace.taken_positions).all()
+
+
+def test_round_period_synchronizes_with_loop(loop_trace):
+    """The synchronization pathology: a round period on a resonant loop
+    pins every trigger to one static instruction."""
+    # The loop body is 6 instructions per iteration (3 pad + head overhead).
+    tables = loop_trace.program.tables
+    iteration = int(
+        tables.block_sizes[loop_trace.program.block("main.head").index]
+        + tables.block_sizes[loop_trace.program.block("main.latch").index]
+    )
+    policy = PeriodPolicy(base=iteration * 2)
+    thresholds, _ = overflow_thresholds(
+        policy, loop_trace.num_instructions, np.random.default_rng(0)
+    )
+    triggers = triggers_for(EventKind.INSTRUCTIONS, loop_trace, thresholds)
+    addrs = loop_trace.addresses[triggers]
+    assert len(np.unique(addrs)) == 1

@@ -1,0 +1,71 @@
+"""Unit tests for PEBS and PDIR capture."""
+
+import numpy as np
+
+from repro.cpu.retirement import retirement_cycles
+from repro.cpu.uarch import IVY_BRIDGE
+from repro.isa.opcodes import LatencyClass
+from repro.pmu.pebs import capture_pebs, capture_pdir
+
+_SINGLE = int(LatencyClass.SINGLE)
+_LONG = int(LatencyClass.LONG)
+
+
+def _smooth(n=200):
+    return retirement_cycles(np.full(n, _SINGLE, dtype=np.int8), IVY_BRIDGE)
+
+
+def test_pdir_is_exactly_ip_plus_one():
+    triggers = np.asarray([0, 7, 42], dtype=np.int64)
+    assert capture_pdir(triggers, 200).tolist() == [1, 8, 43]
+
+
+def test_pdir_clips_at_end():
+    assert capture_pdir(np.asarray([199], dtype=np.int64), 200)[0] == 200
+
+
+def test_pebs_skips_to_next_cycle():
+    cycles = _smooth()
+    # Trigger mid-burst: capture must be the first instruction of a later
+    # cycle, never an interior of the same burst.
+    triggers = np.asarray([5, 6, 7], dtype=np.int64)  # burst 4..7
+    reported = capture_pebs(triggers, cycles, arming_cycles=0)
+    assert (reported == 8).all()
+
+
+def test_pebs_burst_interiors_never_captured():
+    cycles = _smooth()
+    triggers = np.arange(100, dtype=np.int64)
+    reported = capture_pebs(triggers, cycles, arming_cycles=0)
+    # Every capture is a burst leader (multiple of the retire width).
+    assert (reported % IVY_BRIDGE.retire_width == 0).all()
+
+
+def test_pebs_arming_window_parks_on_stall():
+    lat = np.full(400, _SINGLE, dtype=np.int8)
+    lat[200] = _LONG
+    cycles = retirement_cycles(lat, IVY_BRIDGE)
+    triggers = np.arange(192, 200, dtype=np.int64)
+    reported = capture_pebs(triggers, cycles,
+                            arming_cycles=IVY_BRIDGE.pebs_arming_cycles)
+    # Captures from just before the stall land on the stalling instruction.
+    assert (reported == 200).all()
+
+
+def test_pebs_reports_after_trigger():
+    cycles = _smooth()
+    triggers = np.arange(0, 180, dtype=np.int64)
+    reported = capture_pebs(triggers, cycles, arming_cycles=2)
+    assert (reported > triggers).all()
+
+
+def test_pdir_unbiased_within_bursts():
+    """PDIR's whole point: capture offsets are independent of burst
+    position, unlike PEBS."""
+    cycles = _smooth(400)
+    triggers = np.arange(0, 396, dtype=np.int64)
+    pdir = capture_pdir(triggers, 400)
+    offsets = pdir - triggers
+    assert (offsets == 1).all()
+    pebs = capture_pebs(triggers, cycles, arming_cycles=0)
+    assert len(np.unique(pebs - triggers)) > 1

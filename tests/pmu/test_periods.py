@@ -1,0 +1,96 @@
+"""Unit and property tests for period policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PMUConfigError
+from repro.pmu.periods import PeriodPolicy, Randomization, is_prime, next_prime
+
+
+@pytest.mark.parametrize("n,expected", [
+    (0, False), (1, False), (2, True), (3, True), (4, False),
+    (17, True), (25, False), (2_000_003, True), (2_000_000, False),
+])
+def test_is_prime(n, expected):
+    assert is_prime(n) is expected
+
+
+def test_next_prime_paper_values():
+    # The paper's example: 2,000,000 -> 2,000,003.
+    assert next_prime(2_000_000) == 2_000_003
+    assert next_prime(2000) == 2003
+    assert next_prime(2) == 2
+
+
+@given(st.integers(min_value=2, max_value=100_000))
+@settings(max_examples=100, deadline=None)
+def test_next_prime_properties(n):
+    p = next_prime(n)
+    assert p >= n
+    assert is_prime(p)
+    for candidate in range(n, p):
+        assert not is_prime(candidate)
+
+
+def test_fixed_schedule_constant():
+    policy = PeriodPolicy(base=2000)
+    periods = policy.schedule(10, np.random.default_rng(0))
+    assert (periods == 2000).all()
+    assert policy.min_period == 2000
+
+
+def test_software_randomization_bounds():
+    policy = PeriodPolicy(base=2000, randomization=Randomization.SOFTWARE)
+    periods = policy.schedule(10_000, np.random.default_rng(0))
+    spread = 2000 >> policy.spread_shift
+    assert periods.min() >= 2000 - spread
+    assert periods.max() <= 2000 + spread
+    assert len(np.unique(periods)) > 1
+    assert policy.min_period == 2000 - spread
+
+
+def test_hardware_randomization_replaces_low_nibble():
+    policy = PeriodPolicy(base=2003,
+                          randomization=Randomization.HARDWARE_4LSB)
+    periods = policy.schedule(10_000, np.random.default_rng(0))
+    high = 2003 & ~0xF
+    assert periods.min() >= high
+    assert periods.max() <= high + 15
+    # All 16 low-nibble values occur; primality of the base is destroyed.
+    assert len(np.unique(periods)) == 16
+
+
+def test_empty_schedule():
+    policy = PeriodPolicy(base=100)
+    assert policy.schedule(0, np.random.default_rng(0)).size == 0
+
+
+def test_invalid_policies_rejected():
+    with pytest.raises(PMUConfigError, match="period base"):
+        PeriodPolicy(base=1)
+    with pytest.raises(PMUConfigError, match="spread_shift"):
+        PeriodPolicy(base=100, spread_shift=0)
+    with pytest.raises(PMUConfigError, match="base period >= 32"):
+        PeriodPolicy(base=16, randomization=Randomization.HARDWARE_4LSB)
+
+
+def test_describe_strings():
+    assert "round" in PeriodPolicy(base=2000).describe()
+    assert "prime" in PeriodPolicy(base=2003).describe()
+    rand = PeriodPolicy(base=2003, randomization=Randomization.SOFTWARE)
+    assert "sw-randomized" in rand.describe()
+    hw = PeriodPolicy(base=2003, randomization=Randomization.HARDWARE_4LSB)
+    assert "hw-randomized" in hw.describe()
+
+
+@given(
+    st.integers(min_value=32, max_value=1_000_000),
+    st.sampled_from(list(Randomization)),
+)
+@settings(max_examples=60, deadline=None)
+def test_schedule_respects_min_period(base, randomization):
+    policy = PeriodPolicy(base=base, randomization=randomization)
+    periods = policy.schedule(200, np.random.default_rng(1))
+    assert periods.min() >= policy.min_period
+    assert (periods >= 2).all()

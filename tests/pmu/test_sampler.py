@@ -1,0 +1,147 @@
+"""Unit tests for the Sampler front-end."""
+
+import numpy as np
+import pytest
+
+from repro import IVY_BRIDGE, MAGNY_COURS, Machine, WESTMERE
+from repro.errors import PMUConfigError
+from repro.pmu.events import Precision, get_event, instructions_event, \
+    taken_branches_event
+from repro.pmu.periods import PeriodPolicy, Randomization
+from repro.pmu.sampler import Sampler, SamplingConfig
+
+
+def _config(uarch, precision=Precision.PEBS, base=50, **kwargs):
+    return SamplingConfig(
+        event=instructions_event(uarch, precision),
+        period=PeriodPolicy(base=base),
+        **kwargs,
+    )
+
+
+def test_collect_basic_batch(branchy_execution):
+    config = _config(IVY_BRIDGE)
+    batch = Sampler(branchy_execution).collect(
+        config, np.random.default_rng(0)
+    )
+    n = branchy_execution.num_instructions
+    assert batch.num_samples > 0
+    assert (batch.reported_idx < n).all()
+    assert (batch.period_weights == 50).all()
+    assert batch.lbr_ranges is None
+    # Expected sample count: one per full period.
+    assert abs(batch.num_samples - n // 50) <= 2
+
+
+def test_reported_addresses_match_trace(branchy_execution):
+    config = _config(IVY_BRIDGE)
+    batch = Sampler(branchy_execution).collect(
+        config, np.random.default_rng(0)
+    )
+    trace = branchy_execution.trace
+    assert (
+        batch.reported_addresses == trace.addresses[batch.reported_idx]
+    ).all()
+
+
+def test_lbr_collection(branchy_execution):
+    config = SamplingConfig(
+        event=taken_branches_event(IVY_BRIDGE),
+        period=PeriodPolicy(base=11),
+        collect_lbr=True,
+    )
+    batch = Sampler(branchy_execution).collect(
+        config, np.random.default_rng(0)
+    )
+    assert batch.lbr_ranges is not None
+    start, end = batch.lbr_ranges
+    assert (end - start <= IVY_BRIDGE.lbr_depth).all()
+    assert (end - start >= 0).all()
+
+
+def test_validation_rejects_cross_vendor(branchy_execution):
+    ibs_config = SamplingConfig(
+        event=get_event(MAGNY_COURS, "IBS_OP"),
+        period=PeriodPolicy(base=50),
+    )
+    with pytest.raises(PMUConfigError, match="no IBS"):
+        Sampler(branchy_execution).collect(
+            ibs_config, np.random.default_rng(0)
+        )
+
+
+def test_validation_rejects_lbr_on_amd(branchy_trace):
+    execution = Machine(MAGNY_COURS).attach(branchy_trace)
+    config = SamplingConfig(
+        event=taken_branches_event(MAGNY_COURS),
+        period=PeriodPolicy(base=11),
+        collect_lbr=True,
+    )
+    with pytest.raises(PMUConfigError, match="no LBR"):
+        Sampler(execution).collect(config, np.random.default_rng(0))
+
+
+def test_validation_rejects_hw_randomization_on_intel(branchy_execution):
+    config = SamplingConfig(
+        event=instructions_event(IVY_BRIDGE, Precision.PEBS),
+        period=PeriodPolicy(base=64,
+                            randomization=Randomization.HARDWARE_4LSB),
+    )
+    with pytest.raises(PMUConfigError, match="hardware period"):
+        Sampler(branchy_execution).collect(config, np.random.default_rng(0))
+
+
+def test_random_phase_changes_triggers(branchy_execution):
+    config = _config(IVY_BRIDGE, random_phase=True)
+    a = Sampler(branchy_execution).collect(config, np.random.default_rng(1))
+    b = Sampler(branchy_execution).collect(config, np.random.default_rng(2))
+    assert not np.array_equal(a.trigger_idx, b.trigger_idx)
+
+
+def test_deterministic_without_phase(branchy_execution):
+    config = _config(IVY_BRIDGE)
+    a = Sampler(branchy_execution).collect(config, np.random.default_rng(1))
+    b = Sampler(branchy_execution).collect(config, np.random.default_rng(2))
+    assert np.array_equal(a.trigger_idx, b.trigger_idx)
+    assert np.array_equal(a.reported_idx, b.reported_idx)
+
+
+def test_imprecise_uses_skid(branchy_execution):
+    imprecise = SamplingConfig(
+        event=instructions_event(IVY_BRIDGE, Precision.IMPRECISE),
+        period=PeriodPolicy(base=50),
+    )
+    batch = Sampler(branchy_execution).collect(
+        imprecise, np.random.default_rng(0)
+    )
+    assert (batch.reported_idx > batch.trigger_idx).all()
+
+
+def test_pdir_reports_trigger_plus_one(branchy_execution):
+    config = _config(IVY_BRIDGE, precision=Precision.PDIR)
+    batch = Sampler(branchy_execution).collect(
+        config, np.random.default_rng(0)
+    )
+    assert (batch.reported_idx == batch.trigger_idx + 1).all()
+
+
+def test_ibs_on_amd(branchy_trace):
+    execution = Machine(MAGNY_COURS).attach(branchy_trace)
+    config = SamplingConfig(
+        event=get_event(MAGNY_COURS, "IBS_OP"),
+        period=PeriodPolicy(base=50),
+    )
+    batch = Sampler(execution).collect(config, np.random.default_rng(0))
+    assert batch.num_samples > 0
+    assert (batch.reported_idx < execution.num_instructions).all()
+
+
+def test_dropped_counted(branchy_execution):
+    # A period close to the trace length with max phase pushes deliveries
+    # past the end sometimes; dropped must equal the filtered count.
+    config = _config(IVY_BRIDGE, base=50)
+    batch = Sampler(branchy_execution).collect(
+        config, np.random.default_rng(0)
+    )
+    n_total_overflows = batch.num_samples + batch.dropped
+    assert n_total_overflows >= batch.num_samples

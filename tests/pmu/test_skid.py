@@ -1,0 +1,68 @@
+"""Unit tests for imprecise PMI delivery (skid and shadow)."""
+
+import numpy as np
+
+from repro.cpu.retirement import retirement_cycles
+from repro.cpu.uarch import IVY_BRIDGE
+from repro.pmu.skid import deliver_imprecise
+from repro.isa.opcodes import LatencyClass
+
+_SINGLE = int(LatencyClass.SINGLE)
+_LONG = int(LatencyClass.LONG)
+
+
+def _smooth_cycles(n=200):
+    return retirement_cycles(np.full(n, _SINGLE, dtype=np.int8), IVY_BRIDGE)
+
+
+def test_skid_moves_samples_forward():
+    cycles = _smooth_cycles()
+    triggers = np.asarray([10, 50, 100], dtype=np.int64)
+    reported = deliver_imprecise(triggers, cycles, skid_cycles=8)
+    assert (reported > triggers).all()
+    # At retire width 4, 8 cycles of skid is roughly 32 instructions.
+    offsets = reported - triggers
+    assert (offsets >= 28).all() and (offsets <= 36).all()
+
+
+def test_zero_skid_reports_near_trigger():
+    cycles = _smooth_cycles()
+    triggers = np.asarray([40], dtype=np.int64)
+    reported = deliver_imprecise(triggers, cycles, skid_cycles=0)
+    # Next-to-retire at the trigger's own cycle is the head of its burst.
+    assert 36 <= reported[0] <= 44
+
+
+def test_shadow_parks_on_stalling_instruction():
+    lat = np.full(400, _SINGLE, dtype=np.int8)
+    lat[200] = _LONG
+    cycles = retirement_cycles(lat, IVY_BRIDGE)
+    # Triggers shortly before the stall all report the stalled instruction.
+    triggers = np.arange(180, 199, dtype=np.int64)
+    reported = deliver_imprecise(triggers, cycles, skid_cycles=8)
+    assert (reported == 200).sum() >= triggers.size - 4
+
+
+def test_delivery_past_end_marked():
+    cycles = _smooth_cycles(40)
+    triggers = np.asarray([39], dtype=np.int64)
+    reported = deliver_imprecise(triggers, cycles, skid_cycles=1000)
+    assert reported[0] == 40  # == len(cycles): caller drops it
+
+
+def test_jitter_requires_rng():
+    cycles = _smooth_cycles()
+    triggers = np.asarray([10, 20], dtype=np.int64)
+    a = deliver_imprecise(triggers, cycles, skid_cycles=8, jitter_cycles=16)
+    b = deliver_imprecise(triggers, cycles, skid_cycles=8)
+    assert (a == b).all()  # no rng -> deterministic
+
+
+def test_jitter_spreads_deliveries():
+    cycles = _smooth_cycles(4000)
+    triggers = np.full(200, 100, dtype=np.int64)
+    rng = np.random.default_rng(0)
+    reported = deliver_imprecise(triggers, cycles, skid_cycles=8,
+                                 jitter_cycles=16, rng=rng)
+    assert len(np.unique(reported)) > 5
+    assert (reported > 100).all()

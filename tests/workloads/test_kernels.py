@@ -1,0 +1,145 @@
+"""Unit tests for the four paper kernels."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.interpreter import run_program
+from repro.cpu.trace import Trace
+from repro.isa.block import BlockKind
+from repro.workloads.kernels.callchain import (
+    CHAIN_DEPTH,
+    ITERATION_LENGTH,
+    build_callchain,
+)
+from repro.workloads.kernels.g4box import build_g4box
+from repro.workloads.kernels.latency_biased import (
+    DOUBLE_ITERATION_LENGTH,
+    build_latency_biased,
+)
+from repro.workloads.kernels.test40 import NUM_PROCESSES, build_test40
+
+
+def _trace(program):
+    return Trace(program, run_program(program).block_seq)
+
+
+class TestLatencyBiased:
+
+    def test_odd_even_alternation(self):
+        program = build_latency_biased(scale=0.001)
+        trace = _trace(program)
+        odd = program.block("main.odd").index
+        even = program.block("main.even").index
+        counts = trace.block_exec_counts
+        assert counts[odd] == counts[even]
+        assert counts[odd] > 0
+
+    def test_double_iteration_length_is_stable(self):
+        program = build_latency_biased(scale=0.001)
+        trace = _trace(program)
+        head = program.block("main.head").index
+        iterations = int(trace.block_exec_counts[head])
+        # total = entry + iterations * 10 + exit
+        body_instructions = trace.num_instructions - 4 - 1
+        assert body_instructions == iterations * (DOUBLE_ITERATION_LENGTH // 2)
+
+    def test_divide_on_odd_path_only(self):
+        from repro.isa.opcodes import Opcode
+        program = build_latency_biased(scale=0.001)
+        odd = program.block("main.odd")
+        even = program.block("main.even")
+        assert any(i.opcode is Opcode.DIV for i in odd.instructions)
+        assert all(i.opcode is not Opcode.DIV for i in even.instructions)
+
+    def test_scale_controls_size(self):
+        small = _trace(build_latency_biased(scale=0.001))
+        large = _trace(build_latency_biased(scale=0.002))
+        assert 1.5 < large.num_instructions / small.num_instructions < 2.5
+
+
+class TestCallchain:
+
+    def test_ten_deep_chain(self):
+        program = build_callchain(scale=0.01)
+        names = program.function_names()
+        for i in range(CHAIN_DEPTH):
+            assert f"f{i}" in names
+
+    def test_equal_work_per_function(self):
+        program = build_callchain(scale=0.01)
+        trace = _trace(program)
+        from repro.instrumentation import collect_reference
+        per_function = collect_reference(trace).function_instr_counts()
+        chain = per_function[1:]  # skip main
+        # Functions do equal work: counts within ~10% of each other.
+        assert chain.max() / chain.min() < 1.15
+
+    def test_iteration_length_resonates_with_round_periods(self):
+        program = build_callchain(scale=0.01)
+        trace = _trace(program)
+        head = program.block("main.head").index
+        iterations = int(trace.block_exec_counts[head])
+        body = trace.num_instructions - 1 - 1  # entry li + exit halt
+        assert body == iterations * ITERATION_LENGTH
+        assert 2000 % ITERATION_LENGTH == 0  # the paper-style round period
+
+
+class TestG4Box:
+
+    def test_two_work_functions(self):
+        program = build_g4box(scale=0.01)
+        assert set(program.function_names()) == {"main", "inside", "calc"}
+
+    def test_short_blocks_in_inside(self):
+        program = build_g4box(scale=0.01)
+        inside = program.function("inside")
+        sizes = [b.size for b in inside.blocks]
+        assert max(sizes) <= 3
+
+    def test_even_work_split(self):
+        program = build_g4box(scale=0.02)
+        trace = _trace(program)
+        from repro.instrumentation import collect_reference
+        per_function = collect_reference(trace).function_instr_counts()
+        names = program.function_names()
+        inside = per_function[names.index("inside")]
+        calc = per_function[names.index("calc")]
+        assert 0.7 < inside / calc < 1.4
+
+    def test_data_dependent_length(self):
+        a = _trace(build_g4box(scale=0.01, seed=1))
+        b = _trace(build_g4box(scale=0.01, seed=2))
+        assert a.num_instructions != b.num_instructions
+
+
+class TestTest40:
+
+    def test_dispatch_reaches_every_process(self):
+        program = build_test40(scale=0.02)
+        trace = _trace(program)
+        from repro.instrumentation import collect_reference
+        per_function = collect_reference(trace).function_instr_counts()
+        names = program.function_names()
+        for i in range(NUM_PROCESSES):
+            assert per_function[names.index(f"process{i}")] > 0
+
+    def test_fragmented_methods(self):
+        program = build_test40(scale=0.01)
+        # Long-tail structure: many small functions.
+        assert len(program.functions) >= NUM_PROCESSES + 2
+        for func in program.functions:
+            if func.name.startswith("process"):
+                assert func.instruction_count <= 20
+
+    def test_icall_dispatch_block_present(self):
+        program = build_test40(scale=0.01)
+        dispatch = program.block("main.dispatch")
+        assert dispatch.kind is BlockKind.ICALL
+
+
+def test_all_kernels_deterministic(kernel_traces):
+    from repro.workloads.registry import get_workload
+    for name, trace in kernel_traces.items():
+        rebuilt = get_workload(name).build(scale=0.02)
+        again = _trace(rebuilt)
+        assert (again.block_seq == trace.block_seq).all(), name
