@@ -4,6 +4,12 @@ The bench suite regenerates every table and claim of the paper at a reduced
 scale (override with ``REPRO_BENCH_SCALE``) and writes the rendered outputs
 to ``benchmarks/results/`` so a plain ``pytest benchmarks/ --benchmark-only``
 run leaves the reproduced tables on disk.
+
+A session-wide :class:`repro.obs.Collector` observes the whole run, and
+every artifact gains a sibling ``*.meta.json`` provenance manifest (scale,
+repeats, per-phase elapsed, pipeline counters) — results are auditable, not
+bare numbers. Artifacts are written atomically (temp file + rename) so a
+crashed run can never leave a truncated table that looks valid.
 """
 
 from __future__ import annotations
@@ -13,6 +19,14 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs import (
+    Collector,
+    build_manifest,
+    get_collector,
+    install,
+    manifest_path_for,
+    write_manifest,
+)
 from repro.core.experiment import ExperimentConfig, Harness
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -24,6 +38,15 @@ def bench_scale() -> float:
 
 def bench_repeats() -> int:
     return int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def obs_collector() -> Collector:
+    """Observe the whole bench session (spans, counters, phase timings)."""
+    collector = Collector()
+    previous = install(collector)
+    yield collector
+    install(previous)
 
 
 @pytest.fixture(scope="session")
@@ -39,6 +62,23 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
-def write_result(results_dir: Path, name: str, text: str) -> None:
-    """Persist one rendered artifact."""
-    (results_dir / name).write_text(text + "\n")
+def write_result(results_dir: Path, name: str, text: str,
+                 meta: dict | None = None) -> None:
+    """Persist one rendered artifact atomically, plus its manifest.
+
+    The sibling ``<stem>.meta.json`` records the bench scale/repeats and the
+    session collector's phase timings and counters at write time, so every
+    number in ``benchmarks/results/`` can be traced back to the run that
+    produced it.
+    """
+    target = results_dir / name
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(text + "\n")
+    os.replace(tmp, target)
+
+    manifest = build_manifest(
+        config={"scale": bench_scale(), "repeats": bench_repeats()},
+        collector=get_collector(),
+        extra={"artifact": name, **(meta or {})},
+    )
+    write_manifest(manifest_path_for(target), manifest)

@@ -60,6 +60,7 @@ from repro.pmu import (
     SamplingConfig,
 )
 from repro.instrumentation import ReferenceCounts, collect_reference
+from repro.obs import Collector, collecting, count, gauge, span
 from repro.core import (
     AccuracyStats,
     MethodSpec,
@@ -115,6 +116,12 @@ __all__ = [
     # instrumentation
     "ReferenceCounts",
     "collect_reference",
+    # observability
+    "Collector",
+    "collecting",
+    "count",
+    "gauge",
+    "span",
     # core
     "Profile",
     "accuracy_error",

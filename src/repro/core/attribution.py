@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import count, span
 from repro.pmu.sampler import SampleBatch
 from repro.core.profile import Profile
 
@@ -30,9 +31,12 @@ def attribute_plain(batch: SampleBatch, method: str = "plain") -> Profile:
     block (tools attribute the period they programmed, not the randomized
     per-sample reload value)."""
     program = batch.execution.program
-    est = np.zeros(program.num_blocks, dtype=np.float64)
-    blocks = block_of_samples(batch)
-    np.add.at(est, blocks, float(batch.nominal_period))
+    with span("attribute", method=method, samples=batch.num_samples):
+        est = np.zeros(program.num_blocks, dtype=np.float64)
+        blocks = block_of_samples(batch)
+        np.add.at(est, blocks, float(batch.nominal_period))
+    count("attribution.samples", batch.num_samples)
+    count("attribution.dropped_ips", batch.dropped)
     return Profile(
         program=program,
         method=method,

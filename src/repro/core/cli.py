@@ -4,24 +4,60 @@ Examples::
 
     repro-pmu list
     repro-pmu table1 --scale 0.5 --repeats 3
-    repro-pmu table2 --scale 0.5
+    repro-pmu table2 --scale 0.5 --trace run.jsonl
     repro-pmu table3
-    repro-pmu claims --scale 0.5
-    repro-pmu run --machine ivybridge --workload mcf --method lbr
+    repro-pmu claims --scale 0.5 --quiet
+    repro-pmu run --machine ivybridge --workload mcf --method lbr --seed 7
+
+Every subcommand accepts ``--verbose``/``--quiet`` (diagnostics and live
+per-cell progress go to stderr through ``logging``) and ``--trace
+FILE.jsonl``, which streams one schema-versioned event per span/counter to
+the file and writes a provenance manifest (``FILE.meta.json``) next to it.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro._version import __version__
 from repro.cpu.uarch import ALL_UARCHES, get_uarch
+from repro.obs import (
+    Collector,
+    JsonlWriter,
+    build_manifest,
+    install,
+    manifest_path_for,
+    render_span_tree,
+    setup_cli_logging,
+    write_manifest,
+)
+from repro.obs.log import Emitter
 from repro.core.compare import evaluate_all_claims
 from repro.core.experiment import ExperimentConfig, Harness
 from repro.core.methods import METHODS, method_available
 from repro.core.tables import build_table1, build_table2, render_table3
 from repro.workloads.registry import list_workloads
+
+#: Default first seed of the repeat range (matches ExperimentConfig).
+DEFAULT_SEED = 100
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="debug-level diagnostics plus a span-tree summary on stderr",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress progress and informational output (results still print)",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE.jsonl", default=None,
+        help="stream span/counter events to FILE.jsonl and write a "
+             "provenance manifest next to it",
+    )
 
 
 def _add_harness_args(parser: argparse.ArgumentParser) -> None:
@@ -34,17 +70,26 @@ def _add_harness_args(parser: argparse.ArgumentParser) -> None:
         help="seeded repeats per cell (default 5, as in the paper)",
     )
     parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help=f"first seed of the repeat range (default {DEFAULT_SEED}); "
+             "runs with the same seed/scale/repeats are reproducible",
+    )
+    parser.add_argument(
         "--markdown", action="store_true",
         help="render tables as markdown instead of fixed-width text",
     )
 
 
 def _make_harness(args: argparse.Namespace) -> Harness:
-    return Harness(ExperimentConfig(scale=args.scale, repeats=args.repeats))
+    return Harness(ExperimentConfig(
+        scale=args.scale,
+        repeats=args.repeats,
+        seed_base=getattr(args, "seed", DEFAULT_SEED),
+    ))
 
 
-def _cmd_list(_: argparse.Namespace) -> int:
-    print("Machines:")
+def _cmd_list(_: argparse.Namespace, out: Emitter) -> int:
+    out.result("Machines:")
     for uarch in ALL_UARCHES:
         features = []
         if uarch.has_pebs:
@@ -55,86 +100,101 @@ def _cmd_list(_: argparse.Namespace) -> int:
             features.append("IBS")
         if uarch.has_lbr:
             features.append(f"LBR({uarch.lbr_depth})")
-        print(f"  {uarch.name:12s} {uarch.vendor:6s} {', '.join(features)}")
-    print("\nWorkloads:")
+        out.result(f"  {uarch.name:12s} {uarch.vendor:6s} "
+                   f"{', '.join(features)}")
+    out.result("\nWorkloads:")
     for workload in list_workloads():
-        print(f"  {workload.name:16s} [{workload.category}] "
-              f"{workload.description}")
-    print("\nMethods:")
+        out.result(f"  {workload.name:16s} [{workload.category}] "
+                   f"{workload.description}")
+    out.result("\nMethods:")
     for spec in METHODS:
         tag = "" if spec.in_table3 else " (supplemental)"
-        print(f"  {spec.key:20s} {spec.title}{tag}")
+        out.result(f"  {spec.key:20s} {spec.title}{tag}")
     return 0
 
 
-def _cmd_table1(args: argparse.Namespace) -> int:
+def _cmd_table1(args: argparse.Namespace, out: Emitter) -> int:
     table = build_table1(_make_harness(args))
-    print(table.to_markdown() if args.markdown else table.render())
+    out.result(table.to_markdown() if args.markdown else table.render())
     return 0
 
 
-def _cmd_table2(args: argparse.Namespace) -> int:
+def _cmd_table2(args: argparse.Namespace, out: Emitter) -> int:
     table = build_table2(_make_harness(args))
-    print(table.to_markdown() if args.markdown else table.render())
+    out.result(table.to_markdown() if args.markdown else table.render())
     return 0
 
 
-def _cmd_table3(_: argparse.Namespace) -> int:
-    print(render_table3())
+def _cmd_table3(_: argparse.Namespace, out: Emitter) -> int:
+    out.result(render_table3())
     return 0
 
 
-def _cmd_claims(args: argparse.Namespace) -> int:
+def _cmd_claims(args: argparse.Namespace, out: Emitter) -> int:
     results = evaluate_all_claims(_make_harness(args))
     for result in results:
-        print(result)
+        out.result(str(result))
     failed = sum(1 for r in results if not r.holds)
-    print(f"\n{len(results) - failed}/{len(results)} claims hold")
+    out.result(f"\n{len(results) - failed}/{len(results)} claims hold")
     return 1 if failed else 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _cmd_run(args: argparse.Namespace, out: Emitter) -> int:
     harness = _make_harness(args)
     uarch = get_uarch(args.machine)
     if not method_available(args.method, uarch):
-        print(f"method {args.method!r} is not available on {args.machine}",
-              file=sys.stderr)
+        out.error("method %r is not available on %s",
+                  args.method, args.machine)
         return 2
     stats = harness.cell(args.machine, args.workload, args.method,
                          base_period=args.period)
     assert stats is not None
-    print(f"{args.machine}/{args.workload}/{args.method}: {stats} "
-          f"(over {stats.repeats} runs)")
+    out.result(f"{args.machine}/{args.workload}/{args.method}: {stats} "
+               f"(over {stats.repeats} runs)")
     return 0
 
 
-def _cmd_recommend(args: argparse.Namespace) -> int:
+def _cmd_recommend(args: argparse.Namespace, out: Emitter) -> int:
     from repro.cpu.metrics import collect_metrics
     from repro.core.recommendations import recommend_method
 
     harness = _make_harness(args)
     execution = harness.execution(args.machine, args.workload)
     metrics = collect_metrics(execution)
-    print(f"workload {args.workload} on {args.machine}: "
-          f"IPC {metrics.ipc:.2f}, "
-          f"{metrics.instructions_per_taken_branch:.1f} instr/taken-branch, "
-          f"mispredict rate {metrics.mispredict_rate:.1%}, "
-          f"{metrics.stall_cycle_fraction:.0%} of cycles stalled\n")
+    out.result(f"workload {args.workload} on {args.machine}: "
+               f"IPC {metrics.ipc:.2f}, "
+               f"{metrics.instructions_per_taken_branch:.1f} "
+               f"instr/taken-branch, "
+               f"mispredict rate {metrics.mispredict_rate:.1%}, "
+               f"{metrics.stall_cycle_fraction:.0%} of cycles stalled\n")
     recommendation = recommend_method(
         execution, metrics=metrics,
         want_maximum_accuracy=not args.no_lbr,
     )
-    print(recommendation.render())
+    out.result(recommendation.render())
     return 0
 
 
-def _cmd_disasm(args: argparse.Namespace) -> int:
+def _cmd_disasm(args: argparse.Namespace, out: Emitter) -> int:
     from repro.isa.disasm import disassemble
     from repro.workloads.registry import get_workload
 
     program = get_workload(args.workload).build(scale=args.scale)
-    print(disassemble(program, function=args.function))
+    out.result(disassemble(program, function=args.function))
     return 0
+
+
+def _config_summary(args: argparse.Namespace) -> dict[str, object]:
+    """The experiment knobs of one invocation, for the manifest."""
+    summary: dict[str, object] = {"command": args.command}
+    for knob in ("scale", "repeats", "seed", "machine", "workload", "method",
+                 "period", "function", "no_lbr"):
+        value = getattr(args, knob, None)
+        if value is not None:
+            summary[knob] = value
+    if hasattr(args, "seed") and hasattr(args, "repeats"):
+        summary["seeds"] = list(range(args.seed, args.seed + args.repeats))
+    return summary
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -150,26 +210,32 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list machines, workloads, methods") \
-        .set_defaults(func=_cmd_list)
+    pl = sub.add_parser("list", help="list machines, workloads, methods")
+    _add_obs_args(pl)
+    pl.set_defaults(func=_cmd_list)
 
     p1 = sub.add_parser("table1", help="regenerate Table 1 (kernels)")
     _add_harness_args(p1)
+    _add_obs_args(p1)
     p1.set_defaults(func=_cmd_table1)
 
     p2 = sub.add_parser("table2", help="regenerate Table 2 (applications)")
     _add_harness_args(p2)
+    _add_obs_args(p2)
     p2.set_defaults(func=_cmd_table2)
 
-    sub.add_parser("table3", help="render Table 3 (method catalogue)") \
-        .set_defaults(func=_cmd_table3)
+    p3 = sub.add_parser("table3", help="render Table 3 (method catalogue)")
+    _add_obs_args(p3)
+    p3.set_defaults(func=_cmd_table3)
 
     pc = sub.add_parser("claims", help="check the paper's prose claims")
     _add_harness_args(pc)
+    _add_obs_args(pc)
     pc.set_defaults(func=_cmd_claims)
 
     pr = sub.add_parser("run", help="score one machine/workload/method cell")
     _add_harness_args(pr)
+    _add_obs_args(pr)
     pr.add_argument("--machine", required=True)
     pr.add_argument("--workload", required=True)
     pr.add_argument("--method", required=True)
@@ -182,6 +248,7 @@ def main(argv: list[str] | None = None) -> int:
         help="advise a sampling method for a workload (Section 6.3)",
     )
     _add_harness_args(pa)
+    _add_obs_args(pa)
     pa.add_argument("--machine", required=True)
     pa.add_argument("--workload", required=True)
     pa.add_argument("--no-lbr", action="store_true",
@@ -189,13 +256,54 @@ def main(argv: list[str] | None = None) -> int:
     pa.set_defaults(func=_cmd_recommend)
 
     pd = sub.add_parser("disasm", help="disassemble a workload's program")
+    _add_obs_args(pd)
     pd.add_argument("--workload", required=True)
     pd.add_argument("--function", default=None)
     pd.add_argument("--scale", type=float, default=0.01)
     pd.set_defaults(func=_cmd_disasm)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    logger = setup_cli_logging(verbose=args.verbose, quiet=args.quiet)
+    out = Emitter(logger)
+
+    # Observe the run whenever the user asked for a trace file or a verbose
+    # span summary; otherwise the no-op fast path stays in effect.
+    writer: JsonlWriter | None = None
+    collector: Collector | None = None
+    previous: Collector | None = None
+    if args.trace or args.verbose:
+        if args.trace:
+            try:
+                writer = JsonlWriter(args.trace)
+            except OSError as exc:
+                out.error("cannot open trace file %s: %s", args.trace, exc)
+                return 2
+        if writer is not None:
+            writer.run_start(command=["repro-pmu"] + list(argv or sys.argv[1:]),
+                             version=__version__)
+        collector = Collector(sink=writer)
+        previous = install(collector)
+
+    started = time.perf_counter()
+    try:
+        return args.func(args, out)
+    finally:
+        if collector is not None:
+            install(previous)
+            collector.flush_metrics()
+            if writer is not None:
+                writer.run_end(time.perf_counter() - started)
+                writer.close()
+                manifest = build_manifest(
+                    config=_config_summary(args),
+                    collector=collector,
+                    command=["repro-pmu"] + list(argv or sys.argv[1:]),
+                    extra={"trace": str(args.trace)},
+                )
+                path = write_manifest(manifest_path_for(args.trace), manifest)
+                out.info("trace written to %s (manifest %s)", args.trace, path)
+            if args.verbose and collector.span_names():
+                print(render_span_tree(collector), file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,6 +14,7 @@ from repro.cpu.machine import Execution, Machine
 from repro.cpu.trace import Trace
 from repro.cpu.uarch import ALL_UARCHES, get_uarch
 from repro.instrumentation.reference import ReferenceCounts, collect_reference
+from repro.obs import count, span
 from repro.core.methods import method_available
 from repro.core.runner import evaluate_method
 from repro.core.stats import AccuracyStats
@@ -53,11 +54,13 @@ class Harness:
     def trace(self, workload_name: str) -> Trace:
         """The (cached) dynamic trace of one workload at the config scale."""
         if workload_name not in self._traces:
-            workload = get_workload(workload_name)
-            program = workload.build(scale=self.config.scale)
-            execution = Machine(get_uarch(self.config.machines[0])).execute(
-                program
-            )
+            with span("workload", workload=workload_name,
+                      scale=self.config.scale):
+                workload = get_workload(workload_name)
+                program = workload.build(scale=self.config.scale)
+                execution = Machine(
+                    get_uarch(self.config.machines[0])
+                ).execute(program)
             self._traces[workload_name] = execution.trace
         return self._traces[workload_name]
 
@@ -68,9 +71,9 @@ class Harness:
     def reference(self, workload_name: str) -> ReferenceCounts:
         """Exact instrumentation counts for one workload."""
         if workload_name not in self._references:
-            self._references[workload_name] = collect_reference(
-                self.trace(workload_name)
-            )
+            trace = self.trace(workload_name)
+            with span("reference", workload=workload_name):
+                self._references[workload_name] = collect_reference(trace)
         return self._references[workload_name]
 
     def period_for(self, workload_name: str) -> int:
@@ -89,16 +92,20 @@ class Harness:
         period = base_period or self.period_for(workload_name)
         key = (machine_name, workload_name, method_key, period)
         if key in self._cells:
+            count("harness.cell_cache_hits")
             return self._cells[key]
         uarch = get_uarch(machine_name)
         if not method_available(method_key, uarch):
             return None
-        stats = evaluate_method(
-            self.execution(machine_name, workload_name),
-            method_key,
-            period,
-            seeds=self.config.seeds,
-            reference=self.reference(workload_name),
-        )
+        with span("cell", machine=machine_name, workload=workload_name,
+                  method=method_key, period=period):
+            stats = evaluate_method(
+                self.execution(machine_name, workload_name),
+                method_key,
+                period,
+                seeds=self.config.seeds,
+                reference=self.reference(workload_name),
+            )
+        count("harness.cells_evaluated")
         self._cells[key] = stats
         return stats

@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.obs import count, span
 from repro.pmu.sampler import SampleBatch
 from repro.core.profile import Profile
 
@@ -58,15 +59,20 @@ def corrected_blocks(batch: SampleBatch) -> np.ndarray:
         corrected[via_fallthrough] = np.maximum(
             blocks[via_fallthrough] - 1, 0
         )
+    count("attribution.ip_corrected",
+          int(via_branch.sum()) + int(via_fallthrough.sum()))
     return corrected
 
 
 def attribute_with_ip_fix(batch: SampleBatch, method: str = "ip_fix") -> Profile:
     """Build a profile using the corrected (walked-back) block per sample."""
     program = batch.execution.program
-    est = np.zeros(program.num_blocks, dtype=np.float64)
-    blocks = corrected_blocks(batch)
-    np.add.at(est, blocks, float(batch.nominal_period))
+    with span("attribute", method=method, samples=batch.num_samples):
+        est = np.zeros(program.num_blocks, dtype=np.float64)
+        blocks = corrected_blocks(batch)
+        np.add.at(est, blocks, float(batch.nominal_period))
+    count("attribution.samples", batch.num_samples)
+    count("attribution.dropped_ips", batch.dropped)
     return Profile(
         program=program,
         method=method,

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.obs import count, span
 from repro.pmu.sampler import SampleBatch
 from repro.core.profile import Profile
 
@@ -33,6 +34,7 @@ def lbr_block_exec_counts(batch: SampleBatch) -> np.ndarray:
     start, end = batch.lbr_ranges
     seg_counts = np.maximum(end - start - 1, 0)
     total_segments = int(seg_counts.sum())
+    count("attribution.lbr_segments", total_segments)
     if total_segments == 0:
         return np.zeros(nblocks, dtype=np.float64)
 
@@ -76,8 +78,11 @@ def lbr_block_exec_counts(batch: SampleBatch) -> np.ndarray:
 def attribute_lbr(batch: SampleBatch, method: str = "lbr") -> Profile:
     """Build an instruction-count profile from full LBR accounting."""
     program = batch.execution.program
-    exec_counts = lbr_block_exec_counts(batch)
-    est = exec_counts * program.tables.block_sizes
+    with span("attribute", method=method, samples=batch.num_samples):
+        exec_counts = lbr_block_exec_counts(batch)
+        est = exec_counts * program.tables.block_sizes
+    count("attribution.samples", batch.num_samples)
+    count("attribution.dropped_ips", batch.dropped)
     return Profile(
         program=program,
         method=method,

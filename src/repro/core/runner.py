@@ -14,12 +14,13 @@ import numpy as np
 
 from repro.cpu.machine import Execution
 from repro.instrumentation.reference import ReferenceCounts, collect_reference
+from repro.obs import count, span
 from repro.pmu.sampler import SampleBatch, Sampler
 from repro.core.accuracy import profile_error
 from repro.core.attribution import attribute_plain
 from repro.core.ip_fix import attribute_with_ip_fix
 from repro.core.lbr_counts import attribute_lbr
-from repro.core.methods import Attribution, resolve_method
+from repro.core.methods import Attribution, ResolvedMethod, resolve_method
 from repro.core.profile import Profile
 from repro.core.stats import AccuracyStats, summarize_errors
 
@@ -36,22 +37,29 @@ def run_method(
     base_period: int,
     rng: np.random.Generator | int | None = None,
     normalize: bool = True,
+    resolved: ResolvedMethod | None = None,
 ) -> tuple[Profile, SampleBatch]:
     """Collect and post-process one profiling run.
 
     Returns the (optionally normalized) profile plus the raw sample batch
-    for callers that inspect samples directly.
+    for callers that inspect samples directly. Callers that repeat the same
+    method pass the pre-bound ``resolved`` method to skip re-resolution.
     """
     if not isinstance(rng, np.random.Generator):
         rng = np.random.default_rng(rng)
-    resolved = resolve_method(method_key, execution.uarch, base_period)
-    batch = Sampler(execution).collect(resolved.config, rng)
-    profile = _ATTRIBUTORS[resolved.attribution](batch, method=method_key)
-    # A run too short to deliver any sample yields an honest all-zero
-    # profile (its error against the reference is 1.0) — there is nothing
-    # to normalize.
-    if normalize and profile.total_estimate > 0:
-        profile = profile.normalized_to(execution.trace.num_instructions)
+    if resolved is None:
+        resolved = resolve_method(method_key, execution.uarch, base_period)
+    with span("run_method", method=method_key,
+              machine=execution.uarch.name,
+              workload=execution.program.name,
+              period=base_period):
+        batch = Sampler(execution).collect(resolved.config, rng)
+        profile = _ATTRIBUTORS[resolved.attribution](batch, method=method_key)
+        # A run too short to deliver any sample yields an honest all-zero
+        # profile (its error against the reference is 1.0) — there is nothing
+        # to normalize.
+        if normalize and profile.total_estimate > 0:
+            profile = profile.normalized_to(execution.trace.num_instructions)
     return profile, batch
 
 
@@ -63,14 +71,24 @@ def evaluate_method(
     normalize: bool = True,
     reference: ReferenceCounts | None = None,
 ) -> AccuracyStats:
-    """Score one method over repeated runs (the paper's five repeats)."""
+    """Score one method over repeated runs (the paper's five repeats).
+
+    The method is resolved and the reference counts are built once, shared
+    across every seeded repeat; ``runner.resolve_reused`` counts the
+    re-resolutions saved.
+    """
     if reference is None:
-        reference = collect_reference(execution.trace)
+        with span("reference", workload=execution.program.name):
+            reference = collect_reference(execution.trace)
+    resolved = resolve_method(method_key, execution.uarch, base_period)
     errors: list[float] = []
     for seed in seeds:
         profile, _ = run_method(
             execution, method_key, base_period,
             rng=np.random.default_rng(seed), normalize=normalize,
+            resolved=resolved,
         )
-        errors.append(profile_error(profile, reference).error)
+        with span("score", method=method_key):
+            errors.append(profile_error(profile, reference).error)
+    count("runner.resolve_reused", max(len(errors) - 1, 0))
     return summarize_errors(method_key, errors)

@@ -12,8 +12,12 @@ LBR on Magny-Cours) render as ``--``.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 
+from repro.obs import span
+from repro.obs.log import get_logger
 from repro.core.experiment import Harness
 from repro.core.methods import METHODS
 from repro.core.stats import AccuracyStats
@@ -119,12 +123,25 @@ def _build_table(
         row_labels=[(m, w) for w in workloads for m in machines],
         column_labels=list(methods),
     )
-    for workload in workloads:
-        for machine in machines:
-            for method in methods:
-                result.cells[(machine, workload, method)] = harness.cell(
-                    machine, workload, method
-                )
+    progress = get_logger("progress")
+    live = progress.isEnabledFor(logging.INFO)
+    total = len(workloads) * len(machines) * len(methods)
+    done = 0
+    with span("table", title=title, cells=total):
+        for workload in workloads:
+            for machine in machines:
+                for method in methods:
+                    started = time.perf_counter()
+                    stats = harness.cell(machine, workload, method)
+                    result.cells[(machine, workload, method)] = stats
+                    done += 1
+                    if live:
+                        progress.info(
+                            "[%3d/%d] %s/%s/%s  %s  (%.2fs)",
+                            done, total, machine, workload, method,
+                            "--" if stats is None else stats,
+                            time.perf_counter() - started,
+                        )
     return result
 
 

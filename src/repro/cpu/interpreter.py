@@ -23,6 +23,7 @@ from repro.isa.block import BasicBlock, BlockKind
 from repro.isa.builder import NUM_REGISTERS
 from repro.isa.opcodes import Opcode
 from repro.isa.program import Program
+from repro.obs import count, span
 
 #: Default dynamic-block budget; workloads that need more pass ``fuel=``.
 DEFAULT_FUEL = 50_000_000
@@ -178,6 +179,18 @@ def run_program(
     registers:
         Optional initial register file (defaults to all zeros).
     """
+    with span("interpret", program=program.name, fuel=fuel) as sp:
+        result = _run_program(program, fuel, registers)
+        sp.set(blocks=result.blocks_executed)
+        count("interpret.blocks", result.blocks_executed)
+    return result
+
+
+def _run_program(
+    program: Program,
+    fuel: int,
+    registers: list[int] | None,
+) -> InterpreterResult:
     program.finalize()
     data = program.data.copy()
     dlen = int(data.size)

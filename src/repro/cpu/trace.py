@@ -19,6 +19,7 @@ import numpy as np
 from repro.errors import ExecutionError
 from repro.isa.block import BlockKind
 from repro.isa.program import Program
+from repro.obs import count
 
 _ALWAYS_TAKEN_KINDS = np.array(
     [int(BlockKind.JMP), int(BlockKind.CALL), int(BlockKind.ICALL),
@@ -63,7 +64,10 @@ class Trace:
     @cached_property
     def num_instructions(self) -> int:
         """Total retired instructions."""
-        return int(self.occurrence_sizes.sum())
+        total = int(self.occurrence_sizes.sum())
+        # Once per trace (cached property), not per access.
+        count("trace.instructions", total)
+        return total
 
     @cached_property
     def occurrence_taken(self) -> np.ndarray:

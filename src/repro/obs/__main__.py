@@ -1,0 +1,12 @@
+"""``python -m repro.obs FILE.jsonl`` — validate a trace file.
+
+Thin wrapper over :func:`repro.obs.schema.main` (avoids the runpy
+double-import warning of ``-m repro.obs.schema``).
+"""
+
+import sys
+
+from repro.obs.schema import main
+
+if __name__ == "__main__":
+    sys.exit(main())

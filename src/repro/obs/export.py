@@ -1,0 +1,105 @@
+"""Exporters: streaming JSONL event files and human-readable span trees.
+
+The JSONL stream carries one event per line (``run_start``, ``span``,
+``counter``, ``gauge``, ``run_end``; see :mod:`repro.obs.schema`), so a
+crashed run still leaves every completed span on disk. The span tree
+aggregates spans by ancestry path — a ``table1`` build runs hundreds of
+identical ``cell`` spans, and per-path count/total rendering is what a
+human wants to read.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, TextIO
+
+from repro.obs.tracer import SCHEMA_VERSION, Collector
+
+
+def _json_default(value: Any) -> Any:
+    if hasattr(value, "item"):     # numpy scalars
+        return value.item()
+    return str(value)
+
+
+class JsonlWriter:
+    """Thread-safe line-per-event JSON writer, usable as a collector sink."""
+
+    def __init__(self, path_or_file: str | TextIO) -> None:
+        if hasattr(path_or_file, "write"):
+            self._fh: TextIO = path_or_file          # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._fh = open(path_or_file, "w", encoding="utf-8")
+            self._owns = True
+        self._lock = threading.Lock()
+        self.events_written = 0
+
+    def __call__(self, event: dict[str, Any]) -> None:
+        line = json.dumps(event, default=_json_default)
+        with self._lock:
+            self._fh.write(line + "\n")
+            self.events_written += 1
+
+    def run_start(self, command: list[str] | None = None,
+                  version: str | None = None) -> None:
+        self({"v": SCHEMA_VERSION, "type": "run_start", "ts": time.time(),
+              "command": command or sys.argv, "version": version or ""})
+
+    def run_end(self, wall_s: float) -> None:
+        self({"v": SCHEMA_VERSION, "type": "run_end", "ts": time.time(),
+              "wall_s": wall_s})
+
+    def close(self) -> None:
+        with self._lock:
+            self._fh.flush()
+            if self._owns:
+                self._fh.close()
+
+
+def render_span_tree(collector: Collector, max_paths: int = 200) -> str:
+    """A fixed-width summary tree aggregated by span path.
+
+    Each line shows one distinct ancestry path with how many spans took it
+    and the total wall/CPU time spent there; counters follow the tree.
+    """
+    aggregates: dict[tuple[str, ...], list[float]] = {}
+    for record in collector.spans:
+        entry = aggregates.setdefault(record.path, [0, 0.0, 0.0, record.seq])
+        entry[0] += 1
+        entry[1] += record.wall_s
+        entry[2] += record.cpu_s
+        entry[3] = min(entry[3], record.seq)
+
+    lines = ["span tree (calls, total wall, total cpu):"]
+    ordered = sorted(aggregates.items(), key=lambda item: item[1][3])
+    name_width = max(
+        [len("  " * (len(p) - 1) + p[-1]) for p in aggregates] + [20]
+    )
+    for path, (calls, wall, cpu, _) in ordered[:max_paths]:
+        label = "  " * (len(path) - 1) + path[-1]
+        lines.append(
+            f"  {label:<{name_width}} {calls:>6}x {wall:>9.3f}s {cpu:>9.3f}s"
+        )
+    if len(ordered) > max_paths:
+        lines.append(f"  ... {len(ordered) - max_paths} more paths")
+    if collector.dropped_spans:
+        lines.append(f"  ({collector.dropped_spans} spans over the retention "
+                     "cap were streamed but not aggregated)")
+
+    counters = collector.metrics.counters()
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {value:,}")
+    gauges = collector.metrics.gauges()
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name, value in gauges.items():
+            lines.append(f"  {name:<{width}}  {value}")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Logging-based output for the CLI and pipeline progress lines.
+
+Results (tables, per-cell stats — the payload the user asked for) always
+print to stdout; diagnostics and progress flow through the stdlib
+``logging`` tree rooted at ``repro`` and land on stderr, so ``--quiet``
+can silence them without eating the results and library users can attach
+their own handlers. Progress lines from table builds use the child logger
+``repro.progress``; with no handler configured they cost one disabled
+``isEnabledFor`` check and vanish.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+LOGGER_NAME = "repro"
+
+
+def get_logger(child: str | None = None) -> logging.Logger:
+    """The package logger, or a named child (e.g. ``progress``)."""
+    name = LOGGER_NAME if child is None else f"{LOGGER_NAME}.{child}"
+    return logging.getLogger(name)
+
+
+def setup_cli_logging(verbose: bool = False,
+                      quiet: bool = False) -> logging.Logger:
+    """Configure the ``repro`` logger for one CLI invocation.
+
+    Default level INFO (progress visible); ``--verbose`` lowers to DEBUG,
+    ``--quiet`` raises to ERROR. Existing handlers are replaced so repeated
+    in-process invocations (tests) do not stack handlers or stale streams.
+    """
+    if verbose:
+        level = logging.DEBUG
+    elif quiet:
+        level = logging.ERROR
+    else:
+        level = logging.INFO
+    logger = logging.getLogger(LOGGER_NAME)
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+class Emitter:
+    """CLI output split: ``result`` → stdout, diagnostics → logging."""
+
+    def __init__(self, logger: logging.Logger | None = None) -> None:
+        self.logger = logger or get_logger()
+
+    def result(self, text: str = "") -> None:
+        """Primary command output — always printed."""
+        print(text)
+
+    def info(self, msg: str, *args: object) -> None:
+        self.logger.info(msg, *args)
+
+    def debug(self, msg: str, *args: object) -> None:
+        self.logger.debug(msg, *args)
+
+    def error(self, msg: str, *args: object) -> None:
+        self.logger.error(msg, *args)

@@ -1,0 +1,93 @@
+"""Per-run provenance manifests.
+
+A manifest is the auditable sibling of a results artifact: what produced
+the numbers (package version, git describe, python/platform), with which
+knobs (scale, repeats, seeds, machines), how long each phase took, and
+what the pipeline counters saw. Written atomically (temp file + rename)
+so a crashed run can never leave a truncated manifest that looks valid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+from repro._version import __version__
+from repro.obs.tracer import Collector
+
+#: Manifest format version (independent of the event-stream schema).
+MANIFEST_VERSION = 1
+
+
+def git_describe(cwd: str | Path | None = None) -> str | None:
+    """``git describe --always --dirty`` of the source tree, or ``None``."""
+    if cwd is None:
+        cwd = Path(__file__).resolve().parent
+    try:
+        result = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=str(cwd), capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if result.returncode != 0:
+        return None
+    return result.stdout.strip() or None
+
+
+def build_manifest(
+    config: dict[str, Any] | None = None,
+    collector: Collector | None = None,
+    command: list[str] | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble a provenance manifest dict.
+
+    ``config`` carries the experiment knobs (scale, repeats, seeds, ...);
+    ``collector`` contributes per-phase elapsed times and counters;
+    ``extra`` is merged in last (artifact name, table title, ...).
+    """
+    from repro.cpu.uarch import ALL_UARCHES  # lazy: avoid import cycles
+
+    manifest: dict[str, Any] = {
+        "manifest_version": MANIFEST_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "package": {"name": "repro", "version": __version__},
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "git": git_describe(),
+        "command": list(command) if command is not None else list(sys.argv),
+        "uarches": [uarch.name for uarch in ALL_UARCHES],
+        "config": dict(config or {}),
+    }
+    if collector is not None:
+        manifest["elapsed_s"] = round(collector.elapsed_s(), 6)
+        manifest["phases"] = collector.phase_summary()
+        manifest["counters"] = collector.metrics.counters()
+        manifest["gauges"] = collector.metrics.gauges()
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def manifest_path_for(artifact_path: str | Path) -> Path:
+    """The sibling manifest path of an artifact (``x.txt`` → ``x.meta.json``)."""
+    return Path(artifact_path).with_suffix(".meta.json")
+
+
+def write_manifest(path: str | Path, manifest: dict[str, Any]) -> Path:
+    """Atomically write a manifest as JSON; returns the final path."""
+    path = Path(path)
+    text = json.dumps(manifest, indent=2, sort_keys=False,
+                      default=lambda v: v.item() if hasattr(v, "item")
+                      else str(v))
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path

@@ -1,0 +1,60 @@
+"""Thread-safe in-process metrics: monotonic counters and point gauges.
+
+The registry is deliberately tiny — a dict behind a lock — because the
+pipeline increments counters per *batch* (one sampling session, one
+attribution pass), never per instruction, so contention is negligible.
+Names are dotted strings (``samples.collected``, ``overflows.scheduled``)
+so exporters can group them by subsystem.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+def _as_number(value):
+    """Coerce numpy scalars to plain Python numbers (JSON-safe)."""
+    if hasattr(value, "item"):
+        return value.item()
+    return value
+
+
+class MetricsRegistry:
+    """Counters (monotonic sums) and gauges (last-written values)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        #: Total number of counter/gauge updates (used by the overhead guard
+        #: to size the instrumentation cost of a run).
+        self.updates = 0
+
+    def count(self, name: str, n: int | float = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at zero)."""
+        n = _as_number(n)
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+            self.updates += 1
+
+    def gauge(self, name: str, value: int | float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        value = _as_number(value)
+        with self._lock:
+            self._gauges[name] = value
+            self.updates += 1
+
+    def counter(self, name: str) -> float:
+        """Current value of one counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counters(self) -> dict[str, float]:
+        """Snapshot of all counters, sorted by name."""
+        with self._lock:
+            return dict(sorted(self._counters.items()))
+
+    def gauges(self) -> dict[str, float]:
+        """Snapshot of all gauges, sorted by name."""
+        with self._lock:
+            return dict(sorted(self._gauges.items()))

@@ -1,0 +1,168 @@
+"""The JSONL event-stream schema: constants, validation, and a checker CLI.
+
+Every line of a ``--trace`` file is one JSON object with at least ``v``
+(schema version), ``type``, and ``ts`` (epoch seconds). Five event types
+exist:
+
+* ``run_start`` — ``command`` (list of str), ``version``
+* ``span``      — ``seq``, ``name``, ``path``, ``parent``, ``depth``,
+  ``thread``, ``wall_s``, ``cpu_s``, ``attrs``, ``ok``
+* ``counter`` / ``gauge`` — ``name``, ``value``
+* ``run_end``   — ``wall_s``
+
+Run ``python -m repro.obs.schema FILE.jsonl`` to validate a trace; CI uses
+``--require-span`` / ``--require-counter`` to assert a smoke run actually
+exercised the pipeline (nonzero counters, expected phases).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.tracer import SCHEMA_VERSION
+
+EVENT_TYPES = ("run_start", "span", "counter", "gauge", "run_end")
+
+_REQUIRED: dict[str, dict[str, tuple[type, ...]]] = {
+    "run_start": {"command": (list,), "version": (str,)},
+    "span": {
+        "seq": (int,),
+        "name": (str,),
+        "path": (str,),
+        "depth": (int,),
+        "thread": (int,),
+        "wall_s": (int, float),
+        "cpu_s": (int, float),
+        "attrs": (dict,),
+        "ok": (bool,),
+    },
+    "counter": {"name": (str,), "value": (int, float)},
+    "gauge": {"name": (str,), "value": (int, float)},
+    "run_end": {"wall_s": (int, float)},
+}
+
+
+def validate_event(event: Any) -> list[str]:
+    """Problems with one event dict (empty list = valid)."""
+    if not isinstance(event, dict):
+        return ["event is not an object"]
+    problems: list[str] = []
+    if event.get("v") != SCHEMA_VERSION:
+        problems.append(f"bad schema version {event.get('v')!r} "
+                        f"(expected {SCHEMA_VERSION})")
+    event_type = event.get("type")
+    if event_type not in EVENT_TYPES:
+        problems.append(f"unknown event type {event_type!r}")
+        return problems
+    if not isinstance(event.get("ts"), (int, float)):
+        problems.append("missing or non-numeric 'ts'")
+    for key, types in _REQUIRED[event_type].items():
+        value = event.get(key, None)
+        if not isinstance(value, types):
+            # bool is an int subclass; reject it where a number is expected.
+            problems.append(f"field {key!r} missing or not {types}")
+        elif types == (int, float) and isinstance(value, bool):
+            problems.append(f"field {key!r} must be numeric, got bool")
+    if event_type == "span":
+        if isinstance(event.get("wall_s"), (int, float)) \
+                and event["wall_s"] < 0:
+            problems.append("negative wall_s")
+        parent = event.get("parent", "absent")
+        if parent is not None and not isinstance(parent, int):
+            problems.append("field 'parent' must be int or null")
+        if isinstance(event.get("depth"), int) and event["depth"] < 0:
+            problems.append("negative depth")
+    return problems
+
+
+def validate_jsonl_lines(lines: Iterable[str]) -> tuple[int, list[str]]:
+    """Validate an event stream; returns (num_events, error messages)."""
+    errors: list[str] = []
+    count = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        count += 1
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: invalid JSON ({exc.msg})")
+            continue
+        for problem in validate_event(event):
+            errors.append(f"line {lineno}: {problem}")
+    return count, errors
+
+
+def validate_jsonl_path(path: str | Path) -> tuple[int, list[str]]:
+    """Validate a JSONL trace file on disk."""
+    with open(path, encoding="utf-8") as fh:
+        return validate_jsonl_lines(fh)
+
+
+def load_events(path: str | Path) -> list[dict[str, Any]]:
+    """Parse every event of a (valid) trace file."""
+    events = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate a trace file; exit 1 on any schema or requirement failure."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.schema",
+        description="Validate a repro.obs JSONL trace file.",
+    )
+    parser.add_argument("path", help="trace file to validate")
+    parser.add_argument(
+        "--require-span", action="append", default=[], metavar="NAME",
+        help="fail unless a span with this name is present (repeatable)",
+    )
+    parser.add_argument(
+        "--require-counter", action="append", default=[], metavar="NAME",
+        help="fail unless this counter is present with a nonzero value",
+    )
+    args = parser.parse_args(argv)
+
+    count, errors = validate_jsonl_path(args.path)
+    for error in errors:
+        print(f"{args.path}: {error}", file=sys.stderr)
+    if count == 0:
+        print(f"{args.path}: no events", file=sys.stderr)
+        return 1
+    if errors:
+        # Requirement checks need a re-parse; skip it on an invalid file.
+        return 1
+
+    events = load_events(args.path)
+    span_names = {e["name"] for e in events if e.get("type") == "span"}
+    counters = {e["name"]: e["value"] for e in events
+                if e.get("type") == "counter"}
+    failed = bool(errors)
+    for name in args.require_span:
+        if name not in span_names:
+            print(f"{args.path}: required span {name!r} not found",
+                  file=sys.stderr)
+            failed = True
+    for name in args.require_counter:
+        if not counters.get(name):
+            print(f"{args.path}: required counter {name!r} missing or zero",
+                  file=sys.stderr)
+            failed = True
+
+    if not failed:
+        print(f"{args.path}: {count} events ok "
+              f"({len(span_names)} span names, {len(counters)} counters)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,293 @@
+"""Zero-dependency tracing core: nestable spans plus a process collector.
+
+Instrumented code calls :func:`span`, :func:`count`, and :func:`gauge`
+unconditionally. When no collector is installed (the default) those calls
+reduce to one global read and a ``None`` check — the no-op fast path the
+overhead guard test keeps honest. When a :class:`Collector` is installed,
+spans record monotonic wall time (``time.perf_counter``) and CPU time
+(``time.process_time``), nest through a per-thread stack, and stream one
+event per finished span to an optional sink (e.g. a JSONL writer).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.obs.metrics import MetricsRegistry, _as_number
+
+#: Event-stream schema version (see :mod:`repro.obs.schema`).
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    seq: int                  # unique id, allocation order
+    name: str
+    path: tuple[str, ...]     # ancestor names, root first, self last
+    parent: int | None        # seq of the enclosing span, if any
+    depth: int
+    thread: int
+    ts: float                 # wall-clock start (epoch seconds)
+    wall_s: float
+    cpu_s: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+    ok: bool = True
+
+    def to_event(self) -> dict[str, Any]:
+        """The JSONL event for this span (see :mod:`repro.obs.schema`)."""
+        return {
+            "v": SCHEMA_VERSION,
+            "type": "span",
+            "seq": self.seq,
+            "name": self.name,
+            "path": "/".join(self.path),
+            "parent": self.parent,
+            "depth": self.depth,
+            "thread": self.thread,
+            "ts": self.ts,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "attrs": {k: _as_number(v) for k, v in self.attrs.items()},
+            "ok": self.ok,
+        }
+
+
+class Collector:
+    """Aggregates spans and metrics for one observed run.
+
+    Parameters
+    ----------
+    sink:
+        Optional callable receiving one event dict per finished span
+        (streaming export). Counter/gauge events are emitted by
+        :meth:`flush_metrics`.
+    max_spans:
+        In-memory retention cap; spans beyond it still stream to the sink
+        but are not kept for tree rendering (``dropped_spans`` counts them).
+    """
+
+    def __init__(
+        self,
+        sink: Callable[[dict[str, Any]], None] | None = None,
+        max_spans: int = 100_000,
+    ) -> None:
+        self.sink = sink
+        self.max_spans = max_spans
+        self.spans: list[SpanRecord] = []
+        self.dropped_spans = 0
+        self.metrics = MetricsRegistry()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._seq = 0
+        self._t0 = time.perf_counter()
+
+    # -- span bookkeeping --------------------------------------------------
+
+    def _stack(self) -> list["Span"]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_seq(self) -> int:
+        with self._lock:
+            self._seq += 1
+            return self._seq
+
+    def _finish(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self.spans) < self.max_spans:
+                self.spans.append(record)
+            else:
+                self.dropped_spans += 1
+        if self.sink is not None:
+            self.sink(record.to_event())
+
+    # -- summaries ---------------------------------------------------------
+
+    def elapsed_s(self) -> float:
+        """Wall seconds since the collector was created."""
+        return time.perf_counter() - self._t0
+
+    def phase_summary(self) -> dict[str, dict[str, float]]:
+        """Per-span-name aggregates: call count and total wall/CPU seconds.
+
+        Nested spans are *not* subtracted from their parents — the summary
+        answers "how long did we spend inside spans named X", the per-phase
+        elapsed the provenance manifest records.
+        """
+        summary: dict[str, dict[str, float]] = {}
+        with self._lock:
+            spans = list(self.spans)
+        for record in spans:
+            entry = summary.setdefault(
+                record.name, {"count": 0, "wall_s": 0.0, "cpu_s": 0.0}
+            )
+            entry["count"] += 1
+            entry["wall_s"] += record.wall_s
+            entry["cpu_s"] += record.cpu_s
+        for entry in summary.values():
+            entry["wall_s"] = round(entry["wall_s"], 6)
+            entry["cpu_s"] = round(entry["cpu_s"], 6)
+        return dict(sorted(summary.items()))
+
+    def span_names(self) -> set[str]:
+        """Names of all finished spans."""
+        with self._lock:
+            return {record.name for record in self.spans}
+
+    def flush_metrics(self) -> None:
+        """Emit one ``counter``/``gauge`` event per metric to the sink."""
+        if self.sink is None:
+            return
+        now = time.time()
+        for name, value in self.metrics.counters().items():
+            self.sink({"v": SCHEMA_VERSION, "type": "counter",
+                       "name": name, "value": value, "ts": now})
+        for name, value in self.metrics.gauges().items():
+            self.sink({"v": SCHEMA_VERSION, "type": "gauge",
+                       "name": name, "value": value, "ts": now})
+
+
+class Span:
+    """An active span; created by :func:`span`, finished on ``__exit__``."""
+
+    __slots__ = ("_collector", "name", "attrs", "seq", "parent", "depth",
+                 "path", "ts", "_wall0", "_cpu0")
+
+    def __init__(self, collector: Collector, name: str,
+                 attrs: dict[str, Any]) -> None:
+        self._collector = collector
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        collector = self._collector
+        stack = collector._stack()
+        if stack:
+            top = stack[-1]
+            self.parent = top.seq
+            self.path = top.path + (self.name,)
+        else:
+            self.parent = None
+            self.path = (self.name,)
+        self.depth = len(stack)
+        self.seq = collector._next_seq()
+        stack.append(self)
+        self.ts = time.time()
+        self._cpu0 = time.process_time()
+        self._wall0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall_s = time.perf_counter() - self._wall0
+        cpu_s = time.process_time() - self._cpu0
+        collector = self._collector
+        stack = collector._stack()
+        # Pop self; tolerate unbalanced exits (a child left open by an
+        # exception) by unwinding down to this span.
+        while stack:
+            if stack.pop() is self:
+                break
+        collector._finish(SpanRecord(
+            seq=self.seq,
+            name=self.name,
+            path=self.path,
+            parent=self.parent,
+            depth=self.depth,
+            thread=threading.get_ident(),
+            ts=self.ts,
+            wall_s=wall_s,
+            cpu_s=cpu_s,
+            attrs=self.attrs,
+            ok=exc_type is None,
+        ))
+        return False
+
+
+class NullSpan:
+    """The disabled fast path: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = NullSpan()
+_collector: Collector | None = None
+
+
+def install(collector: Collector | None) -> Collector | None:
+    """Install a process-wide collector; returns the previous one."""
+    global _collector
+    previous = _collector
+    _collector = collector
+    return previous
+
+
+def uninstall() -> Collector | None:
+    """Remove the installed collector (disables tracing)."""
+    return install(None)
+
+
+def get_collector() -> Collector | None:
+    """The installed collector, or ``None`` when tracing is disabled."""
+    return _collector
+
+
+def enabled() -> bool:
+    """Whether a collector is currently installed."""
+    return _collector is not None
+
+
+def span(name: str, **attrs: Any) -> Span | NullSpan:
+    """Open a (nestable) span context; a shared no-op when disabled."""
+    collector = _collector
+    if collector is None:
+        return _NULL_SPAN
+    return Span(collector, name, attrs)
+
+
+def count(name: str, n: int | float = 1) -> None:
+    """Increment a counter on the installed collector (no-op when disabled)."""
+    collector = _collector
+    if collector is not None:
+        collector.metrics.count(name, n)
+
+
+def gauge(name: str, value: int | float) -> None:
+    """Set a gauge on the installed collector (no-op when disabled)."""
+    collector = _collector
+    if collector is not None:
+        collector.metrics.gauge(name, value)
+
+
+@contextmanager
+def collecting(
+    sink: Callable[[dict[str, Any]], None] | None = None,
+    max_spans: int = 100_000,
+) -> Iterator[Collector]:
+    """Install a fresh collector for the duration of a ``with`` block."""
+    collector = Collector(sink=sink, max_spans=max_spans)
+    previous = install(collector)
+    try:
+        yield collector
+    finally:
+        install(previous)

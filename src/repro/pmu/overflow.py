@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.errors import PMUConfigError
 from repro.cpu.trace import Trace
+from repro.obs import count
 from repro.pmu.events import EventKind
 from repro.pmu.periods import PeriodPolicy
 
@@ -47,11 +48,13 @@ def overflow_thresholds(
     if total <= 0:
         empty = np.zeros(0, dtype=np.int64)
         return empty, empty
-    count = total // policy.min_period + 2
-    periods = policy.schedule(count, rng)
+    needed = total // policy.min_period + 2
+    periods = policy.schedule(needed, rng)
     thresholds = np.cumsum(periods) + phase
     keep = thresholds <= total
-    return thresholds[keep], periods[keep]
+    thresholds, periods = thresholds[keep], periods[keep]
+    count("overflows.scheduled", thresholds.size)
+    return thresholds, periods
 
 
 def triggers_for(

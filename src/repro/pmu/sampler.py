@@ -14,6 +14,7 @@ import numpy as np
 from repro.errors import PMUConfigError
 from repro.cpu.machine import Execution
 from repro.cpu.uarch import Microarchitecture
+from repro.obs import count, span
 from repro.pmu.events import Event, Precision, validate_event
 from repro.pmu.ibs import capture_ibs
 from repro.pmu.lbr import LBRFacility
@@ -128,6 +129,22 @@ class Sampler:
         self, config: SamplingConfig, rng: np.random.Generator
     ) -> SampleBatch:
         """Run one sampling session and return the delivered samples."""
+        with span("sample",
+                  event=config.event.name,
+                  period=config.period.base,
+                  lbr=config.collect_lbr) as sp:
+            batch = self._collect(config, rng)
+            sp.set(samples=batch.num_samples, dropped=batch.dropped)
+        count("samples.collected", batch.num_samples)
+        count("samples.dropped", batch.dropped)
+        if batch.lbr_ranges is not None:
+            start, end = batch.lbr_ranges
+            count("lbr.records", int((end - start).sum()))
+        return batch
+
+    def _collect(
+        self, config: SamplingConfig, rng: np.random.Generator
+    ) -> SampleBatch:
         config.validate_uarch(self.execution.uarch)
         trace = self.execution.trace
         uarch = self.execution.uarch

@@ -1,8 +1,11 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.core.cli import main
+from repro.obs.schema import validate_jsonl_path
 
 
 def test_list(capsys):
@@ -79,3 +82,78 @@ def test_version(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["--version"])
     assert excinfo.value.code == 0
+
+
+def test_run_seed_is_reproducible(capsys):
+    cmd = [
+        "run", "--machine", "ivybridge", "--workload", "latency_biased",
+        "--method", "precise", "--scale", "0.01", "--repeats", "2",
+        "--seed", "7",
+    ]
+    assert main(cmd) == 0
+    first = capsys.readouterr().out
+    assert main(cmd) == 0
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_quiet_suppresses_progress_lines(capsys):
+    assert main(["table1", "--scale", "0.01", "--repeats", "1", "-q"]) == 0
+    captured = capsys.readouterr()
+    assert "Table 1" in captured.out       # results still print
+    assert "[" not in captured.err          # no per-cell progress
+
+
+def test_default_emits_progress_lines(capsys):
+    assert main(["table1", "--scale", "0.01", "--repeats", "1"]) == 0
+    captured = capsys.readouterr()
+    assert "/latency_biased/" in captured.err
+
+
+def test_verbose_prints_span_tree(capsys):
+    assert main(["table1", "--scale", "0.01", "--repeats", "1", "-v"]) == 0
+    captured = capsys.readouterr()
+    assert "span tree" in captured.err
+    assert "run_method" in captured.err
+
+
+def test_trace_writes_schema_valid_jsonl_and_manifest(tmp_path, capsys):
+    trace = tmp_path / "run.jsonl"
+    assert main(["table1", "--scale", "0.01", "--repeats", "1",
+                 "--trace", str(trace)]) == 0
+    n_events, errors = validate_jsonl_path(trace)
+    assert errors == []
+    assert n_events > 10
+
+    events = [json.loads(line) for line in trace.read_text().splitlines()]
+    span_names = {e["name"] for e in events if e["type"] == "span"}
+    assert {"interpret", "sample", "attribute", "score"} <= span_names
+    # Nested: the sample span sits below a run_method span.
+    sample = next(e for e in events if e["type"] == "span"
+                  and e["name"] == "sample")
+    assert sample["depth"] > 0 and "run_method" in sample["path"]
+    counters = {e["name"]: e["value"] for e in events
+                if e["type"] == "counter"}
+    assert counters["samples.collected"] > 0
+    assert events[0]["type"] == "run_start"
+    assert events[-1]["type"] == "run_end"
+
+    manifest = json.loads((tmp_path / "run.meta.json").read_text())
+    assert manifest["config"]["scale"] == 0.01
+    assert manifest["config"]["repeats"] == 1
+    assert manifest["config"]["seeds"] == [100]
+    assert manifest["counters"]["samples.collected"] > 0
+    assert manifest["phases"]["cell"]["count"] > 0
+
+
+def test_trace_on_single_run_cell(tmp_path, capsys):
+    trace = tmp_path / "cell.jsonl"
+    assert main([
+        "run", "--machine", "ivybridge", "--workload", "latency_biased",
+        "--method", "lbr", "--scale", "0.01", "--repeats", "1",
+        "--trace", str(trace),
+    ]) == 0
+    events = [json.loads(line) for line in trace.read_text().splitlines()]
+    counters = {e["name"]: e["value"] for e in events
+                if e["type"] == "counter"}
+    assert counters.get("lbr.records", 0) > 0

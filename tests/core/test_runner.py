@@ -54,6 +54,24 @@ def test_evaluate_accepts_precomputed_reference(branchy_execution):
     assert stats.repeats == 1
 
 
+def test_run_method_accepts_preresolved_method(branchy_execution):
+    from repro.core.methods import resolve_method
+
+    resolved = resolve_method("precise", branchy_execution.uarch, 50)
+    p1, _ = run_method(branchy_execution, "precise", 50, rng=3,
+                       resolved=resolved)
+    p2, _ = run_method(branchy_execution, "precise", 50, rng=3)
+    assert np.allclose(p1.block_instr_estimates, p2.block_instr_estimates)
+
+
+def test_evaluate_method_resolves_once_per_repeat_set(branchy_execution):
+    from repro.obs import collecting
+
+    with collecting() as col:
+        evaluate_method(branchy_execution, "precise", 50, seeds=range(5))
+    assert col.metrics.counter("runner.resolve_reused") == 4
+
+
 def test_all_methods_run_on_their_machines():
     from repro.core.methods import METHOD_KEYS, method_available
     from repro.cpu.uarch import ALL_UARCHES

@@ -1,0 +1,59 @@
+"""Exporters: the JSONL writer sink and the span-tree renderer."""
+
+import io
+import json
+
+from repro.obs import JsonlWriter, collecting, count, render_span_tree, span
+
+
+def test_jsonl_writer_accepts_open_files_and_paths(tmp_path):
+    buffer = io.StringIO()
+    writer = JsonlWriter(buffer)
+    writer({"v": 1, "type": "run_end", "ts": 1.0, "wall_s": 2.0})
+    writer.close()
+    assert json.loads(buffer.getvalue())["type"] == "run_end"
+
+    path = tmp_path / "events.jsonl"
+    file_writer = JsonlWriter(str(path))
+    file_writer({"v": 1, "type": "run_end", "ts": 1.0, "wall_s": 2.0})
+    file_writer.close()
+    assert file_writer.events_written == 1
+    assert json.loads(path.read_text())["wall_s"] == 2.0
+
+
+def test_jsonl_writer_coerces_unserializable_values():
+    buffer = io.StringIO()
+    writer = JsonlWriter(buffer)
+    writer({"v": 1, "type": "counter", "ts": 1.0, "name": "n",
+            "value": 1, "weird": object()})
+    line = json.loads(buffer.getvalue())
+    assert isinstance(line["weird"], str)
+
+
+def test_render_span_tree_aggregates_paths_and_counters():
+    with collecting() as col:
+        with span("table"):
+            for _ in range(3):
+                with span("cell"):
+                    with span("run_method"):
+                        count("samples.collected", 5)
+    tree = render_span_tree(col)
+    assert "span tree" in tree
+    assert "table" in tree
+    # 3 cell spans aggregate into one line with a call count.
+    assert "3x" in tree
+    assert "samples.collected" in tree
+    assert "15" in tree
+    # Indentation reflects nesting depth.
+    lines = tree.splitlines()
+    cell_line = next(line for line in lines if "cell" in line)
+    table_line = next(line for line in lines if line.lstrip().startswith("table"))
+    assert len(cell_line) - len(cell_line.lstrip()) \
+        > len(table_line) - len(table_line.lstrip())
+
+
+def test_render_span_tree_empty_collector():
+    with collecting() as col:
+        pass
+    tree = render_span_tree(col)
+    assert "span tree" in tree  # renders without crashing

@@ -1,0 +1,67 @@
+"""Provenance manifests: contents, sibling paths, atomic writes."""
+
+import json
+
+from repro._version import __version__
+from repro.obs import (
+    MANIFEST_VERSION,
+    build_manifest,
+    collecting,
+    count,
+    manifest_path_for,
+    span,
+    write_manifest,
+)
+
+
+def test_manifest_records_provenance_and_config():
+    with collecting() as col:
+        with span("interpret"):
+            count("samples.collected", 10)
+    manifest = build_manifest(
+        config={"scale": 0.5, "repeats": 3, "seeds": [100, 101, 102]},
+        collector=col,
+        command=["repro-pmu", "table1"],
+        extra={"artifact": "table1.txt"},
+    )
+    assert manifest["manifest_version"] == MANIFEST_VERSION
+    assert manifest["package"] == {"name": "repro", "version": __version__}
+    assert manifest["config"]["scale"] == 0.5
+    assert manifest["config"]["seeds"] == [100, 101, 102]
+    assert set(manifest["uarches"]) == {"westmere", "ivybridge", "magnycours"}
+    assert manifest["command"] == ["repro-pmu", "table1"]
+    assert manifest["counters"]["samples.collected"] == 10
+    assert manifest["phases"]["interpret"]["count"] == 1
+    assert manifest["elapsed_s"] >= 0
+    assert manifest["artifact"] == "table1.txt"
+    assert "python" in manifest and "platform" in manifest
+
+
+def test_manifest_without_collector_omits_run_stats():
+    manifest = build_manifest(config={"scale": 1.0}, command=["x"])
+    assert "counters" not in manifest
+    assert "phases" not in manifest
+
+
+def test_manifest_path_for_siblings():
+    assert manifest_path_for("results/table1.txt").name == "table1.meta.json"
+    assert manifest_path_for("/tmp/run.jsonl").name == "run.meta.json"
+
+
+def test_write_manifest_is_atomic_and_json(tmp_path):
+    path = tmp_path / "artifact.meta.json"
+    written = write_manifest(path, {"manifest_version": 1, "hello": "world"})
+    assert written == path
+    loaded = json.loads(path.read_text())
+    assert loaded["hello"] == "world"
+    # No temp residue left behind.
+    assert list(tmp_path.iterdir()) == [path]
+
+
+def test_write_manifest_serializes_numpy_values(tmp_path):
+    import numpy as np
+
+    path = tmp_path / "np.meta.json"
+    write_manifest(path, {"n": np.int64(3), "x": np.float64(0.5)})
+    loaded = json.loads(path.read_text())
+    assert loaded == {"n": 3, "x": 0.5}

@@ -1,0 +1,79 @@
+"""Counter/gauge registry: aggregation correctness, including under threads."""
+
+import threading
+
+import numpy as np
+
+from repro.obs import MetricsRegistry, collecting, count, span
+
+
+def test_counter_accumulates_and_defaults_to_zero():
+    registry = MetricsRegistry()
+    assert registry.counter("missing") == 0
+    registry.count("hits")
+    registry.count("hits", 4)
+    assert registry.counter("hits") == 5
+    assert registry.counters() == {"hits": 5}
+
+
+def test_gauge_keeps_last_value():
+    registry = MetricsRegistry()
+    registry.gauge("temp", 1.5)
+    registry.gauge("temp", 2.5)
+    assert registry.gauges() == {"temp": 2.5}
+
+
+def test_numpy_scalars_are_coerced_to_python_numbers():
+    registry = MetricsRegistry()
+    registry.count("n", np.int64(7))
+    registry.gauge("g", np.float64(0.25))
+    assert type(registry.counter("n")) is int
+    assert type(registry.gauges()["g"]) is float
+
+
+def test_counters_snapshot_is_sorted_copy():
+    registry = MetricsRegistry()
+    registry.count("zebra")
+    registry.count("apple")
+    snapshot = registry.counters()
+    assert list(snapshot) == ["apple", "zebra"]
+    snapshot["apple"] = 999
+    assert registry.counter("apple") == 1
+
+
+def test_counter_aggregation_under_threads():
+    """8 threads x 5000 increments each must sum exactly (no lost updates)."""
+    registry = MetricsRegistry()
+    threads = 8
+    increments = 5000
+
+    def work():
+        for _ in range(increments):
+            registry.count("shared")
+
+    workers = [threading.Thread(target=work) for _ in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    assert registry.counter("shared") == threads * increments
+
+
+def test_spans_and_counts_from_worker_threads():
+    """Module-level count()/span() are safe from several threads at once."""
+    with collecting() as col:
+        def work(tag):
+            for _ in range(200):
+                with span("worker", tag=tag):
+                    count("work.items")
+
+        workers = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+    assert col.metrics.counter("work.items") == 800
+    assert len(col.spans) == 800
+    # Every worker span is a root in its own thread (depth 0).
+    assert {record.depth for record in col.spans} == {0}
+    assert len({record.seq for record in col.spans}) == 800

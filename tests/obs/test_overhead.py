@@ -1,0 +1,57 @@
+"""The overhead guard: with no collector installed, the instrumentation's
+no-op fast path must cost well under 5% of a small ``run_method`` call.
+
+The guard measures (a) the wall time of one uninstrumented-path run, (b)
+how many span/metric operations that run performs (observed with a live
+collector), and (c) the per-operation cost of the disabled primitives, and
+asserts (b) x (c) < 5% of (a). This bounds the *instrumentation* overhead
+directly instead of differencing two noisy end-to-end timings.
+"""
+
+import time
+
+from repro.core.runner import run_method
+from repro.obs import collecting, count, enabled, span
+
+
+def _best_of(n, fn):
+    best = float("inf")
+    for _ in range(n):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_path_overhead_under_5_percent(branchy_execution):
+    assert not enabled()
+
+    def one_run():
+        run_method(branchy_execution, "precise", base_period=40, rng=0)
+
+    one_run()  # warm caches (trace properties, method resolution)
+    run_wall = _best_of(5, one_run)
+
+    # Count the obs operations a run performs.
+    with collecting() as col:
+        one_run()
+        operations = len(col.spans) + col.metrics.updates
+    assert operations > 0
+
+    # Cost of one disabled span + one disabled counter update.
+    reps = 20_000
+
+    def noop_loop():
+        for _ in range(reps):
+            with span("guard", x=1):
+                count("guard.ops")
+
+    assert not enabled()
+    per_operation = _best_of(3, noop_loop) / reps
+
+    estimated_overhead = operations * per_operation
+    assert estimated_overhead < 0.05 * run_wall, (
+        f"disabled-path overhead {estimated_overhead * 1e6:.1f}us "
+        f"({operations} ops x {per_operation * 1e9:.0f}ns) exceeds 5% of "
+        f"run_method wall {run_wall * 1e6:.1f}us"
+    )

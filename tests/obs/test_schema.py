@@ -1,0 +1,109 @@
+"""JSONL schema: round trips, validation, and the checker CLI."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlWriter,
+    collecting,
+    count,
+    span,
+    validate_event,
+    validate_jsonl_path,
+)
+from repro.obs import schema as schema_mod
+from repro.obs.schema import main as schema_main
+from repro.obs.tracer import SCHEMA_VERSION
+
+
+def _write_trace(path):
+    """A complete, valid trace file produced through the real pipeline."""
+    writer = JsonlWriter(str(path))
+    writer.run_start(command=["repro-pmu", "test"], version="0.0.0")
+    with collecting(sink=writer) as col:
+        with span("outer", scale=0.5):
+            with span("inner"):
+                count("widgets", 3)
+        col.flush_metrics()
+    writer.run_end(wall_s=0.123)
+    writer.close()
+    return path
+
+
+def test_jsonl_round_trip_is_schema_valid(tmp_path):
+    path = _write_trace(tmp_path / "trace.jsonl")
+    n_events, errors = validate_jsonl_path(path)
+    assert errors == []
+    assert n_events == 5  # run_start, 2 spans, 1 counter, run_end
+
+    events = [json.loads(line) for line in path.read_text().splitlines()]
+    types = [event["type"] for event in events]
+    assert types[0] == "run_start" and types[-1] == "run_end"
+    spans = [event for event in events if event["type"] == "span"]
+    assert {event["name"] for event in spans} == {"outer", "inner"}
+    inner = next(event for event in spans if event["name"] == "inner")
+    outer = next(event for event in spans if event["name"] == "outer")
+    assert inner["parent"] == outer["seq"]
+    assert inner["path"] == "outer/inner"
+    counters = [event for event in events if event["type"] == "counter"]
+    assert len(counters) == 1
+    assert counters[0]["name"] == "widgets" and counters[0]["value"] == 3
+
+
+def test_validate_event_rejects_malformed():
+    assert validate_event("not a dict")
+    assert validate_event({"v": 99, "type": "span"})
+    assert validate_event({"v": SCHEMA_VERSION, "type": "mystery"})
+    missing_ts = {"v": SCHEMA_VERSION, "type": "run_end", "wall_s": 1.0}
+    assert any("ts" in problem for problem in validate_event(missing_ts))
+    bad_span = {
+        "v": SCHEMA_VERSION, "type": "span", "ts": 1.0, "seq": 1,
+        "name": "x", "path": "x", "depth": -1, "thread": 1,
+        "wall_s": -0.5, "cpu_s": 0.0, "attrs": {}, "ok": True,
+        "parent": None,
+    }
+    problems = validate_event(bad_span)
+    assert any("wall_s" in problem for problem in problems)
+    assert any("depth" in problem for problem in problems)
+
+
+def test_validate_event_accepts_writer_output(tmp_path):
+    path = _write_trace(tmp_path / "trace.jsonl")
+    for line in path.read_text().splitlines():
+        assert validate_event(json.loads(line)) == []
+
+
+def test_validate_jsonl_reports_line_numbers(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    good = json.dumps({"v": SCHEMA_VERSION, "type": "run_end",
+                       "ts": 1.0, "wall_s": 2.0})
+    path.write_text(good + "\nnot json at all\n")
+    n_events, errors = validate_jsonl_path(path)
+    assert n_events == 2
+    assert len(errors) == 1 and errors[0].startswith("line 2:")
+
+
+def test_schema_cli_passes_valid_trace(tmp_path, capsys):
+    path = _write_trace(tmp_path / "trace.jsonl")
+    assert schema_main([str(path), "--require-span", "outer",
+                        "--require-counter", "widgets"]) == 0
+    assert "events ok" in capsys.readouterr().out
+
+
+def test_schema_cli_fails_on_missing_requirements(tmp_path, capsys):
+    path = _write_trace(tmp_path / "trace.jsonl")
+    assert schema_main([str(path), "--require-span", "nonexistent"]) == 1
+    assert "nonexistent" in capsys.readouterr().err
+    assert schema_main([str(path), "--require-counter", "absent"]) == 1
+
+
+def test_schema_cli_fails_on_empty_file(tmp_path, capsys):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert schema_main([str(path)]) == 1
+    assert "no events" in capsys.readouterr().err
+
+
+def test_event_types_cover_required_tables():
+    assert set(schema_mod.EVENT_TYPES) == set(schema_mod._REQUIRED)

@@ -1,0 +1,120 @@
+"""Span nesting, timing, and the disabled fast path."""
+
+import time
+
+import pytest
+
+from repro.obs import (
+    NullSpan,
+    collecting,
+    count,
+    enabled,
+    gauge,
+    get_collector,
+    span,
+)
+
+
+def test_disabled_span_is_shared_noop():
+    assert not enabled()
+    first = span("anything", a=1)
+    second = span("other")
+    assert isinstance(first, NullSpan)
+    assert first is second
+    with first as sp:
+        sp.set(more=2)  # must not raise
+    count("nothing", 5)   # must not raise
+    gauge("nothing", 1.0)
+
+
+def test_span_records_nesting_and_path():
+    with collecting() as col:
+        with span("outer", label="x"):
+            with span("inner"):
+                pass
+            with span("inner"):
+                pass
+    names = [record.name for record in col.spans]
+    # Children finish before their parent.
+    assert names == ["inner", "inner", "outer"]
+    outer = col.spans[2]
+    inner = col.spans[0]
+    assert outer.parent is None and outer.depth == 0
+    assert inner.parent == outer.seq and inner.depth == 1
+    assert inner.path == ("outer", "inner")
+    assert outer.attrs == {"label": "x"}
+
+
+def test_span_times_are_positive_and_ordered():
+    with collecting() as col:
+        with span("sleepy"):
+            time.sleep(0.01)
+    record = col.spans[0]
+    assert record.wall_s >= 0.01
+    assert record.cpu_s >= 0.0
+    assert record.ok is True
+    assert record.ts > 0
+
+
+def test_span_marks_exceptions_not_ok():
+    with collecting() as col:
+        with pytest.raises(ValueError):
+            with span("doomed"):
+                raise ValueError("boom")
+    assert col.spans[0].ok is False
+    # The stack unwound: a new root span nests at depth 0.
+    with collecting() as col2:
+        with span("fresh"):
+            pass
+    assert col2.spans[0].depth == 0
+
+
+def test_set_attaches_mid_span_attrs():
+    with collecting() as col:
+        with span("work") as sp:
+            sp.set(items=42)
+    assert col.spans[0].attrs["items"] == 42
+
+
+def test_collecting_restores_previous_collector():
+    assert get_collector() is None
+    with collecting() as outer_col:
+        assert get_collector() is outer_col
+        with collecting() as inner_col:
+            assert get_collector() is inner_col
+        assert get_collector() is outer_col
+    assert get_collector() is None
+
+
+def test_counters_only_reach_installed_collector():
+    with collecting() as col:
+        count("events", 3)
+        count("events", 2)
+        gauge("level", 0.5)
+    count("events", 100)  # after uninstall: dropped
+    assert col.metrics.counter("events") == 5
+    assert col.metrics.gauges() == {"level": 0.5}
+
+
+def test_max_spans_cap_streams_but_drops_retention():
+    events = []
+    with collecting(sink=events.append, max_spans=2) as col:
+        for _ in range(5):
+            with span("s"):
+                pass
+    assert len(col.spans) == 2
+    assert col.dropped_spans == 3
+    assert len(events) == 5  # the sink still saw everything
+
+
+def test_phase_summary_aggregates_by_name():
+    with collecting() as col:
+        for _ in range(3):
+            with span("phase_a"):
+                pass
+        with span("phase_b"):
+            pass
+    summary = col.phase_summary()
+    assert summary["phase_a"]["count"] == 3
+    assert summary["phase_b"]["count"] == 1
+    assert summary["phase_a"]["wall_s"] >= 0
