@@ -12,7 +12,7 @@ import pytest
 from repro.core.tables import build_table1
 from repro.workloads.registry import KERNEL_NAMES
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import bench_jobs, write_result
 
 _TABLES = {}
 
@@ -20,7 +20,8 @@ _TABLES = {}
 @pytest.mark.parametrize("kernel", KERNEL_NAMES)
 def test_table1_kernel_row(benchmark, harness, kernel):
     table = benchmark.pedantic(
-        lambda: build_table1(harness, workloads=(kernel,)),
+        lambda: build_table1(harness, workloads=(kernel,),
+                             jobs=bench_jobs()),
         rounds=1, iterations=1,
     )
     _TABLES[kernel] = table

@@ -12,13 +12,14 @@ import pytest
 from repro.core.tables import build_table2
 from repro.workloads.registry import APP_NAMES
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import bench_jobs, write_result
 
 
 @pytest.mark.parametrize("app", APP_NAMES)
 def test_table2_app_row(benchmark, harness, app):
     table = benchmark.pedantic(
-        lambda: build_table2(harness, workloads=(app,)),
+        lambda: build_table2(harness, workloads=(app,),
+                             jobs=bench_jobs()),
         rounds=1, iterations=1,
     )
     # "The classic method registers high overall error rates, much improved

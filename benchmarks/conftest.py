@@ -10,6 +10,11 @@ every artifact gains a sibling ``*.meta.json`` provenance manifest (scale,
 repeats, per-phase elapsed, pipeline counters) — results are auditable, not
 bare numbers. Artifacts are written atomically (temp file + rename) so a
 crashed run can never leave a truncated table that looks valid.
+
+Scaling knobs: ``REPRO_BENCH_JOBS`` parallelizes table cell evaluation
+across worker processes (results are bit-identical to serial), and
+``REPRO_BENCH_CACHE`` points the harness at a persistent artifact cache so
+repeated bench sessions skip already-scored cells entirely.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from repro.obs import (
     manifest_path_for,
     write_manifest,
 )
+from repro.core.cache import ArtifactCache
 from repro.core.experiment import ExperimentConfig, Harness
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -38,6 +44,15 @@ def bench_scale() -> float:
 
 def bench_repeats() -> int:
     return int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+
+
+def bench_jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def bench_cache() -> ArtifactCache | None:
+    root = os.environ.get("REPRO_BENCH_CACHE")
+    return ArtifactCache(root) if root else None
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -53,7 +68,8 @@ def obs_collector() -> Collector:
 def harness() -> Harness:
     """One shared harness so traces are interpreted once per session."""
     return Harness(ExperimentConfig(scale=bench_scale(),
-                                    repeats=bench_repeats()))
+                                    repeats=bench_repeats()),
+                   cache=bench_cache())
 
 
 @pytest.fixture(scope="session")

@@ -63,16 +63,29 @@ from repro.instrumentation import ReferenceCounts, collect_reference
 from repro.obs import Collector, collecting, count, gauge, span
 from repro.core import (
     AccuracyStats,
+    ArtifactCache,
+    CellSpec,
+    ExperimentConfig,
+    Harness,
     MethodSpec,
     METHOD_KEYS,
     METHODS,
     Profile,
+    TableResult,
     accuracy_error,
     evaluate_method,
     get_method,
     run_method,
 )
 from repro.workloads import Workload, get_workload, list_workloads
+from repro import api
+from repro.api import (
+    evaluate_cell,
+    load_table,
+    run_table1,
+    run_table2,
+    save_table,
+)
 
 __all__ = [
     "__version__",
@@ -132,6 +145,18 @@ __all__ = [
     "get_method",
     "run_method",
     "evaluate_method",
+    # stable facade (repro.api)
+    "api",
+    "ArtifactCache",
+    "CellSpec",
+    "ExperimentConfig",
+    "Harness",
+    "TableResult",
+    "evaluate_cell",
+    "run_table1",
+    "run_table2",
+    "load_table",
+    "save_table",
     # workloads
     "Workload",
     "get_workload",

@@ -1,0 +1,155 @@
+"""Stable high-level facade over the experiment stack.
+
+Notebooks, benchmarks, and scripts should import from here (or from the
+top-level :mod:`repro` package, which re-exports everything below) instead
+of reaching into ``repro.core.*`` internals:
+
+    from repro import api
+
+    table = api.run_table1(jobs=4, cache=True)   # parallel, disk-cached
+    api.save_table(table, "table1.json")
+
+    stats = api.evaluate_cell(
+        api.CellSpec("ivybridge", "latency_biased", "lbr")
+    )
+
+Everything accepts plain values: ``config`` is an
+:class:`~repro.core.experiment.ExperimentConfig` (or ``None`` for the
+paper's defaults), ``cache`` is ``True``/``False``, a directory path, or an
+:class:`~repro.core.cache.ArtifactCache`, and ``jobs`` is a worker-process
+count (1 = serial).  Parallel and serial builds of the same config are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.cache import ArtifactCache, resolve_cache
+from repro.core.experiment import CellSpec, ExperimentConfig, Harness
+from repro.core.stats import AccuracyStats
+from repro.core.tables import (
+    TABLE_METHOD_KEYS,
+    TableResult,
+    build_table1,
+    build_table2,
+)
+from repro.workloads.registry import APP_NAMES, KERNEL_NAMES
+
+__all__ = [
+    "ArtifactCache",
+    "CellSpec",
+    "ExperimentConfig",
+    "Harness",
+    "TableResult",
+    "evaluate_cell",
+    "load_table",
+    "run_table1",
+    "run_table2",
+    "save_table",
+]
+
+#: On-disk table document version (see :func:`save_table`).
+TABLE_DOCUMENT_VERSION = 1
+
+CacheArg = "ArtifactCache | str | Path | bool | None"
+
+
+def _harness(config: ExperimentConfig | None, cache) -> Harness:
+    return Harness(config or ExperimentConfig(), cache=resolve_cache(cache))
+
+
+def run_table1(
+    config: ExperimentConfig | None = None,
+    *,
+    jobs: int = 1,
+    cache: CacheArg = None,
+    methods: tuple[str, ...] = TABLE_METHOD_KEYS,
+    workloads: tuple[str, ...] = KERNEL_NAMES,
+) -> TableResult:
+    """Regenerate Table 1 (kernel accuracy errors)."""
+    return build_table1(_harness(config, cache), methods=methods,
+                        workloads=workloads, jobs=jobs)
+
+
+def run_table2(
+    config: ExperimentConfig | None = None,
+    *,
+    jobs: int = 1,
+    cache: CacheArg = None,
+    methods: tuple[str, ...] = TABLE_METHOD_KEYS,
+    workloads: tuple[str, ...] = APP_NAMES,
+) -> TableResult:
+    """Regenerate Table 2 (application accuracy errors)."""
+    return build_table2(_harness(config, cache), methods=methods,
+                        workloads=workloads, jobs=jobs)
+
+
+def evaluate_cell(
+    spec: CellSpec,
+    config: ExperimentConfig | None = None,
+    *,
+    cache: CacheArg = None,
+) -> AccuracyStats | None:
+    """Score one (machine, workload, method[, period]) cell.
+
+    Returns ``None`` for the paper's blank cells (method not implementable
+    on the machine).
+    """
+    return _harness(config, cache).evaluate_cell(spec)
+
+
+def save_table(table: TableResult, path: str | Path) -> Path:
+    """Persist a :class:`TableResult` as a versioned JSON document.
+
+    Unlike :func:`repro.core.export.table_to_json` (flat mean/std records
+    for downstream analysis), this keeps the raw per-seed errors so
+    :func:`load_table` round-trips the table exactly.  Written atomically.
+    """
+    path = Path(path)
+    document = {
+        "format": TABLE_DOCUMENT_VERSION,
+        "title": table.title,
+        "row_labels": [list(label) for label in table.row_labels],
+        "column_labels": list(table.column_labels),
+        "cells": [
+            {
+                "machine": spec.machine,
+                "workload": spec.workload,
+                "method": spec.method,
+                "period": spec.period,
+                "errors": None if stats is None else list(stats.errors),
+            }
+            for spec, stats in table.cells.items()
+        ],
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def load_table(path: str | Path) -> TableResult:
+    """Reconstruct a :class:`TableResult` saved by :func:`save_table`."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if document.get("format") != TABLE_DOCUMENT_VERSION:
+        raise ValueError(
+            f"unsupported table document format {document.get('format')!r}"
+        )
+    table = TableResult(
+        title=document["title"],
+        row_labels=[tuple(label) for label in document["row_labels"]],
+        column_labels=list(document["column_labels"]),
+    )
+    for cell in document["cells"]:
+        spec = CellSpec(cell["machine"], cell["workload"], cell["method"],
+                        cell["period"])
+        errors = cell["errors"]
+        table.cells[spec] = (
+            None if errors is None
+            else AccuracyStats(method=spec.method,
+                               errors=tuple(float(e) for e in errors))
+        )
+    return table

@@ -28,7 +28,22 @@ from repro.core.stats import (
     summarize_errors,
 )
 from repro.core.runner import evaluate_method, run_method
-from repro.core.experiment import DEFAULT_MACHINES, ExperimentConfig, Harness
+from repro.core.cache import (
+    ArtifactCache,
+    CACHE_FORMAT_VERSION,
+    CacheStats,
+    cache_digest,
+    default_cache_root,
+    resolve_cache,
+)
+from repro.core.experiment import (
+    CellSpec,
+    DEFAULT_MACHINES,
+    ExperimentConfig,
+    Harness,
+    build_trace,
+)
+from repro.core.parallel import evaluate_cells, group_by_workload, plan_cells
 from repro.core.tables import (
     TABLE_METHOD_KEYS,
     TableResult,
@@ -81,9 +96,20 @@ __all__ = [
     "summarize_errors",
     "evaluate_method",
     "run_method",
+    "ArtifactCache",
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "cache_digest",
+    "default_cache_root",
+    "resolve_cache",
+    "CellSpec",
     "ExperimentConfig",
     "Harness",
     "DEFAULT_MACHINES",
+    "build_trace",
+    "evaluate_cells",
+    "group_by_workload",
+    "plan_cells",
     "TableResult",
     "TABLE_METHOD_KEYS",
     "build_table1",

@@ -1,0 +1,240 @@
+"""Persistent, content-addressed artifact cache for experiment results.
+
+Full-scale table runs re-pay the interpreter for every workload and the
+sampler for every cell on each invocation, even though cells are pure
+functions of their configuration (see DESIGN.md §7).  This module stores the
+three expensive artifact kinds on disk — dynamic traces (as their block
+sequence), reference counts, and per-cell :class:`~repro.core.stats.
+AccuracyStats` — keyed by a SHA-256 digest of everything that determines the
+result: workload, scale, uarch, method, period, seed range, plus the package
+version (:mod:`repro._version`) and the cache format version, so a code or
+format bump silently invalidates stale entries.
+
+Design rules:
+
+* **Atomic writes** — temp file + ``os.replace``, the same pattern as
+  :mod:`repro.obs.manifest`, so a crashed run can never leave a truncated
+  entry that looks valid.
+* **Corruption tolerance** — any unreadable, unparsable, or
+  wrong-shaped entry is treated as a miss (and counted as
+  ``cache.corrupt``), never an error.
+* **Versioned layout** — entries live under ``<root>/v<N>/<kind>/``;
+  bumping :data:`CACHE_FORMAT_VERSION` orphans old entries rather than
+  misreading them.
+
+The default root is ``~/.cache/repro``, overridable with the
+``REPRO_CACHE_DIR`` environment variable, a CLI flag (``--cache-dir``), or
+the ``root`` constructor argument.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro._version import __version__
+from repro.obs import count
+
+#: Bumped whenever the on-disk serialization changes shape.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_DEFAULT_ROOT = "~/.cache/repro"
+
+
+def default_cache_root() -> Path:
+    """The cache root honoring ``REPRO_CACHE_DIR``."""
+    return Path(os.environ.get(CACHE_DIR_ENV) or _DEFAULT_ROOT).expanduser()
+
+
+def cache_digest(**fields: object) -> str:
+    """SHA-256 digest of a canonical JSON encoding of ``fields``.
+
+    The package version and cache format version are always mixed in, so
+    entries never survive a code or format change.
+    """
+    payload = dict(fields)
+    payload["code_version"] = __version__
+    payload["cache_format"] = CACHE_FORMAT_VERSION
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of one cache store (``repro-pmu cache stats``)."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    by_kind: dict[str, int]
+
+    def render(self) -> str:
+        lines = [f"cache root: {self.root}",
+                 f"entries:    {self.entries}",
+                 f"size:       {self.total_bytes:,} bytes"]
+        for kind, n in sorted(self.by_kind.items()):
+            lines.append(f"  {kind:12s} {n}")
+        return "\n".join(lines)
+
+
+class ArtifactCache:
+    """Content-addressed on-disk store for traces, references, and stats.
+
+    All ``get_*`` methods return ``None`` on a miss *or* on a corrupt
+    entry; all ``put_*`` methods write atomically.  Hits, misses, writes,
+    and corrupt loads flow into the :mod:`repro.obs` counters
+    ``cache.hits`` / ``cache.misses`` / ``cache.writes`` /
+    ``cache.corrupt``.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        #: The user-facing root (version directory lives below it).
+        self.root = Path(root).expanduser() if root else default_cache_root()
+        self.store_dir = self.root / f"v{CACHE_FORMAT_VERSION}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ArtifactCache {self.root}>"
+
+    # -- paths -------------------------------------------------------------
+
+    def _path(self, kind: str, digest: str, suffix: str) -> Path:
+        # Two-level fan-out keeps directories small at full scale.
+        return self.store_dir / kind / digest[:2] / f"{digest}{suffix}"
+
+    def _write_atomic(self, path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+        count("cache.writes")
+
+    def _hit(self) -> None:
+        count("cache.hits")
+
+    def _miss(self, corrupt: bool = False) -> None:
+        count("cache.misses")
+        if corrupt:
+            count("cache.corrupt")
+
+    # -- accuracy stats ----------------------------------------------------
+
+    def get_stats(self, digest: str):
+        """Load one cell's :class:`AccuracyStats`, or ``None`` on a miss."""
+        from repro.core.stats import AccuracyStats  # lazy: keep import light
+
+        path = self._path("stats", digest, ".json")
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+            if document["format"] != CACHE_FORMAT_VERSION:
+                raise ValueError("format mismatch")
+            stats = AccuracyStats(
+                method=document["method"],
+                errors=tuple(float(e) for e in document["errors"]),
+            )
+        except FileNotFoundError:
+            self._miss()
+            return None
+        except Exception:
+            self._miss(corrupt=True)
+            return None
+        self._hit()
+        return stats
+
+    def put_stats(self, digest: str, stats) -> None:
+        """Persist one cell's :class:`AccuracyStats`."""
+        document = {
+            "format": CACHE_FORMAT_VERSION,
+            "method": stats.method,
+            "errors": list(stats.errors),
+        }
+        self._write_atomic(
+            self._path("stats", digest, ".json"),
+            json.dumps(document).encode("utf-8"),
+        )
+
+    # -- numpy arrays (traces, reference counts) ---------------------------
+
+    def get_arrays(
+        self, kind: str, digest: str, names: tuple[str, ...]
+    ) -> dict[str, np.ndarray] | None:
+        """Load a named-array bundle, or ``None`` on miss/corruption.
+
+        Every requested name must be present; anything else — missing
+        file, bad zip, missing member — is a miss.
+        """
+        path = self._path(kind, digest, ".npz")
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                arrays = {name: archive[name] for name in names}
+        except FileNotFoundError:
+            self._miss()
+            return None
+        except Exception:
+            self._miss(corrupt=True)
+            return None
+        self._hit()
+        return arrays
+
+    def put_arrays(self, kind: str, digest: str, **arrays: np.ndarray) -> None:
+        """Persist a named-array bundle (compressed npz)."""
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        self._write_atomic(self._path(kind, digest, ".npz"),
+                           buffer.getvalue())
+
+    # -- maintenance -------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """Entry counts and byte totals of the current format version."""
+        entries = 0
+        total = 0
+        by_kind: dict[str, int] = {}
+        if self.store_dir.is_dir():
+            for kind_dir in sorted(self.store_dir.iterdir()):
+                if not kind_dir.is_dir():
+                    continue
+                for path in kind_dir.rglob("*"):
+                    if path.is_file() and not path.name.endswith(".tmp"):
+                        entries += 1
+                        total += path.stat().st_size
+                        by_kind[kind_dir.name] = \
+                            by_kind.get(kind_dir.name, 0) + 1
+        return CacheStats(root=str(self.root), entries=entries,
+                          total_bytes=total, by_kind=by_kind)
+
+    def clear(self) -> int:
+        """Delete every entry (all format versions); returns entries removed."""
+        removed = self.stats().entries
+        if self.root.is_dir():
+            for child in self.root.iterdir():
+                if child.is_dir() and child.name.startswith("v"):
+                    shutil.rmtree(child, ignore_errors=True)
+        return removed
+
+
+def resolve_cache(
+    cache: "ArtifactCache | str | Path | bool | None",
+) -> ArtifactCache | None:
+    """Normalize user-facing cache arguments.
+
+    ``None``/``False`` disable caching, ``True`` uses the default root, a
+    path opens a store there, and an :class:`ArtifactCache` passes through.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ArtifactCache()
+    if isinstance(cache, ArtifactCache):
+        return cache
+    return ArtifactCache(cache)

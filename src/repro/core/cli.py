@@ -34,6 +34,7 @@ from repro.obs import (
     write_manifest,
 )
 from repro.obs.log import Emitter
+from repro.core.cache import ArtifactCache
 from repro.core.compare import evaluate_all_claims
 from repro.core.experiment import ExperimentConfig, Harness
 from repro.core.methods import METHODS, method_available
@@ -78,6 +79,31 @@ def _add_harness_args(parser: argparse.ArgumentParser) -> None:
         "--markdown", action="store_true",
         help="render tables as markdown instead of fixed-width text",
     )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="persist traces/references/cell stats in the artifact cache "
+             "(~/.cache/repro or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="artifact cache location (implies --cache)",
+    )
+
+
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for cell evaluation (default 1 = serial; "
+             "results are bit-identical either way)",
+    )
+
+
+def _resolve_cache(args: argparse.Namespace) -> ArtifactCache | None:
+    if getattr(args, "cache_dir", None):
+        return ArtifactCache(args.cache_dir)
+    if getattr(args, "cache", False):
+        return ArtifactCache()
+    return None
 
 
 def _make_harness(args: argparse.Namespace) -> Harness:
@@ -85,7 +111,7 @@ def _make_harness(args: argparse.Namespace) -> Harness:
         scale=args.scale,
         repeats=args.repeats,
         seed_base=getattr(args, "seed", DEFAULT_SEED),
-    ))
+    ), cache=_resolve_cache(args))
 
 
 def _cmd_list(_: argparse.Namespace, out: Emitter) -> int:
@@ -114,14 +140,24 @@ def _cmd_list(_: argparse.Namespace, out: Emitter) -> int:
 
 
 def _cmd_table1(args: argparse.Namespace, out: Emitter) -> int:
-    table = build_table1(_make_harness(args))
+    table = build_table1(_make_harness(args), jobs=args.jobs)
     out.result(table.to_markdown() if args.markdown else table.render())
     return 0
 
 
 def _cmd_table2(args: argparse.Namespace, out: Emitter) -> int:
-    table = build_table2(_make_harness(args))
+    table = build_table2(_make_harness(args), jobs=args.jobs)
     out.result(table.to_markdown() if args.markdown else table.render())
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace, out: Emitter) -> int:
+    cache = ArtifactCache(args.cache_dir)
+    if args.action == "stats":
+        out.result(cache.stats().render())
+        return 0
+    removed = cache.clear()
+    out.result(f"removed {removed} cache entries from {cache.root}")
     return 0
 
 
@@ -188,7 +224,7 @@ def _config_summary(args: argparse.Namespace) -> dict[str, object]:
     """The experiment knobs of one invocation, for the manifest."""
     summary: dict[str, object] = {"command": args.command}
     for knob in ("scale", "repeats", "seed", "machine", "workload", "method",
-                 "period", "function", "no_lbr"):
+                 "period", "function", "no_lbr", "jobs", "cache_dir"):
         value = getattr(args, knob, None)
         if value is not None:
             summary[knob] = value
@@ -216,13 +252,23 @@ def main(argv: list[str] | None = None) -> int:
 
     p1 = sub.add_parser("table1", help="regenerate Table 1 (kernels)")
     _add_harness_args(p1)
+    _add_jobs_arg(p1)
     _add_obs_args(p1)
     p1.set_defaults(func=_cmd_table1)
 
     p2 = sub.add_parser("table2", help="regenerate Table 2 (applications)")
     _add_harness_args(p2)
+    _add_jobs_arg(p2)
     _add_obs_args(p2)
     p2.set_defaults(func=_cmd_table2)
+
+    pk = sub.add_parser("cache", help="inspect or clear the artifact cache")
+    pk.add_argument("action", choices=("stats", "clear"))
+    pk.add_argument("--cache-dir", metavar="DIR", default=None,
+                    help="cache location (default ~/.cache/repro or "
+                         "$REPRO_CACHE_DIR)")
+    _add_obs_args(pk)
+    pk.set_defaults(func=_cmd_cache)
 
     p3 = sub.add_parser("table3", help="render Table 3 (method catalogue)")
     _add_obs_args(p3)

@@ -3,18 +3,26 @@ method) cells.
 
 Traces are microarchitecture-independent and expensive (the interpreter
 runs millions of blocks), so the harness executes each workload once and
-re-observes the trace on every machine.
+re-observes the trace on every machine.  Cells are addressed by the frozen
+:class:`CellSpec` dataclass — the one key type shared by the harness, the
+table assembler, and the parallel scheduler — and, when the harness is
+given an :class:`~repro.core.cache.ArtifactCache`, traces, reference
+counts, and per-cell stats persist across processes and runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
+import numpy as np
+
+from repro.cpu.interpreter import run_program
 from repro.cpu.machine import Execution, Machine
 from repro.cpu.trace import Trace
 from repro.cpu.uarch import ALL_UARCHES, get_uarch
 from repro.instrumentation.reference import ReferenceCounts, collect_reference
 from repro.obs import count, span
+from repro.core.cache import ArtifactCache, cache_digest
 from repro.core.methods import method_available
 from repro.core.runner import evaluate_method
 from repro.core.stats import AccuracyStats
@@ -22,6 +30,33 @@ from repro.workloads.registry import get_workload
 
 #: Machine names in the order the paper's tables list them.
 DEFAULT_MACHINES: tuple[str, ...] = tuple(u.name for u in ALL_UARCHES)
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Address of one table cell: (machine, workload, method, period).
+
+    ``period=None`` means "the workload's default round base period"; the
+    harness resolves it before the spec is used as a cache key.  The class
+    is frozen and contains only strings/ints, so it hashes, pickles, and
+    crosses process boundaries unchanged — it is the unit the parallel
+    scheduler dispatches.
+    """
+
+    machine: str
+    workload: str
+    method: str
+    period: int | None = None
+
+    def resolved(self, period: int) -> "CellSpec":
+        """This spec with a concrete period filled in."""
+        if self.period == period:
+            return self
+        return replace(self, period=period)
+
+    def __str__(self) -> str:
+        suffix = "" if self.period is None else f"@{self.period}"
+        return f"{self.machine}/{self.workload}/{self.method}{suffix}"
 
 
 @dataclass(frozen=True)
@@ -42,26 +77,89 @@ class ExperimentConfig:
         return range(self.seed_base, self.seed_base + self.repeats)
 
 
-class Harness:
-    """Caches executions and per-cell accuracy statistics."""
+def build_trace(workload_name: str, scale: float = 1.0) -> Trace:
+    """Interpret one workload into its (microarchitecture-neutral) trace.
 
-    def __init__(self, config: ExperimentConfig | None = None) -> None:
+    The dynamic block sequence depends only on the program, never on a
+    machine (see DESIGN.md: all three machines differ only in timing and
+    PMU features), so no uarch participates here.
+    """
+    workload = get_workload(workload_name)
+    program = workload.build(scale=scale)
+    result = run_program(program)
+    return Trace(program, result.block_seq)
+
+
+class Harness:
+    """Caches executions and per-cell accuracy statistics.
+
+    ``cache`` is an optional persistent :class:`ArtifactCache`; without it
+    the harness behaves exactly as before, caching in-process only.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        cache: ArtifactCache | None = None,
+    ) -> None:
         self.config = config or ExperimentConfig()
+        self.cache = cache
         self._traces: dict[str, Trace] = {}
         self._references: dict[str, ReferenceCounts] = {}
-        self._cells: dict[tuple[str, str, str, int], AccuracyStats] = {}
+        self._cells: dict[CellSpec, AccuracyStats] = {}
+
+    # -- cache keys --------------------------------------------------------
+
+    def _trace_digest(self, workload_name: str) -> str:
+        workload = get_workload(workload_name)
+        return cache_digest(kind="trace", workload=workload_name,
+                            scale=self.config.scale,
+                            seed=workload.default_seed)
+
+    def _reference_digest(self, workload_name: str) -> str:
+        workload = get_workload(workload_name)
+        return cache_digest(kind="reference", workload=workload_name,
+                            scale=self.config.scale,
+                            seed=workload.default_seed)
+
+    def _cell_digest(self, spec: CellSpec) -> str:
+        return cache_digest(kind="stats", workload=spec.workload,
+                            scale=self.config.scale, uarch=spec.machine,
+                            method=spec.method, period=spec.period,
+                            seeds=list(self.config.seeds))
+
+    # -- artifacts ---------------------------------------------------------
 
     def trace(self, workload_name: str) -> Trace:
         """The (cached) dynamic trace of one workload at the config scale."""
         if workload_name not in self._traces:
             with span("workload", workload=workload_name,
                       scale=self.config.scale):
-                workload = get_workload(workload_name)
-                program = workload.build(scale=self.config.scale)
-                execution = Machine(
-                    get_uarch(self.config.machines[0])
-                ).execute(program)
-            self._traces[workload_name] = execution.trace
+                program = get_workload(workload_name).build(
+                    scale=self.config.scale
+                )
+                block_seq = None
+                if self.cache is not None:
+                    digest = self._trace_digest(workload_name)
+                    arrays = self.cache.get_arrays(
+                        "trace", digest, ("block_seq",)
+                    )
+                    if arrays is not None:
+                        candidate = arrays["block_seq"]
+                        # Shape guard: a stale or corrupt sequence indexing
+                        # past the program's blocks is a miss, not a crash.
+                        if (candidate.ndim == 1 and candidate.size > 0
+                                and int(candidate.max()) < program.num_blocks
+                                and int(candidate.min()) >= 0):
+                            block_seq = candidate.astype(np.int32)
+                if block_seq is None:
+                    block_seq = run_program(program).block_seq
+                    if self.cache is not None:
+                        self.cache.put_arrays(
+                            "trace", self._trace_digest(workload_name),
+                            block_seq=block_seq,
+                        )
+            self._traces[workload_name] = Trace(program, block_seq)
         return self._traces[workload_name]
 
     def execution(self, machine_name: str, workload_name: str) -> Execution:
@@ -72,13 +170,73 @@ class Harness:
         """Exact instrumentation counts for one workload."""
         if workload_name not in self._references:
             trace = self.trace(workload_name)
-            with span("reference", workload=workload_name):
-                self._references[workload_name] = collect_reference(trace)
+            reference = None
+            if self.cache is not None:
+                arrays = self.cache.get_arrays(
+                    "reference", self._reference_digest(workload_name),
+                    ("block_exec_counts", "block_instr_counts"),
+                )
+                if arrays is not None \
+                        and arrays["block_exec_counts"].shape \
+                        == (trace.program.num_blocks,) \
+                        and arrays["block_instr_counts"].shape \
+                        == (trace.program.num_blocks,):
+                    reference = ReferenceCounts(
+                        program=trace.program,
+                        block_exec_counts=arrays["block_exec_counts"],
+                        block_instr_counts=arrays["block_instr_counts"],
+                    )
+            if reference is None:
+                with span("reference", workload=workload_name):
+                    reference = collect_reference(trace)
+                if self.cache is not None:
+                    self.cache.put_arrays(
+                        "reference", self._reference_digest(workload_name),
+                        block_exec_counts=reference.block_exec_counts,
+                        block_instr_counts=reference.block_instr_counts,
+                    )
+            self._references[workload_name] = reference
         return self._references[workload_name]
 
     def period_for(self, workload_name: str) -> int:
         """The workload's default round base period."""
         return get_workload(workload_name).default_period
+
+    # -- cells -------------------------------------------------------------
+
+    def evaluate_cell(self, spec: CellSpec) -> AccuracyStats | None:
+        """Accuracy stats for one cell; ``None`` when the method is not
+        implementable on the machine (the paper's blank cells).
+
+        Lookup order: in-process cell cache, persistent cache (if any),
+        then a full evaluation (counted as ``harness.cells_evaluated``).
+        """
+        spec = spec.resolved(spec.period or self.period_for(spec.workload))
+        if spec in self._cells:
+            count("harness.cell_cache_hits")
+            return self._cells[spec]
+        uarch = get_uarch(spec.machine)
+        if not method_available(spec.method, uarch):
+            return None
+        if self.cache is not None:
+            stats = self.cache.get_stats(self._cell_digest(spec))
+            if stats is not None:
+                self._cells[spec] = stats
+                return stats
+        with span("cell", machine=spec.machine, workload=spec.workload,
+                  method=spec.method, period=spec.period):
+            stats = evaluate_method(
+                self.execution(spec.machine, spec.workload),
+                spec.method,
+                spec.period,
+                seeds=self.config.seeds,
+                reference=self.reference(spec.workload),
+            )
+        count("harness.cells_evaluated")
+        self._cells[spec] = stats
+        if self.cache is not None:
+            self.cache.put_stats(self._cell_digest(spec), stats)
+        return stats
 
     def cell(
         self,
@@ -87,25 +245,7 @@ class Harness:
         method_key: str,
         base_period: int | None = None,
     ) -> AccuracyStats | None:
-        """Accuracy stats for one table cell; ``None`` when the method is
-        not implementable on the machine (the paper's blank cells)."""
-        period = base_period or self.period_for(workload_name)
-        key = (machine_name, workload_name, method_key, period)
-        if key in self._cells:
-            count("harness.cell_cache_hits")
-            return self._cells[key]
-        uarch = get_uarch(machine_name)
-        if not method_available(method_key, uarch):
-            return None
-        with span("cell", machine=machine_name, workload=workload_name,
-                  method=method_key, period=period):
-            stats = evaluate_method(
-                self.execution(machine_name, workload_name),
-                method_key,
-                period,
-                seeds=self.config.seeds,
-                reference=self.reference(workload_name),
-            )
-        count("harness.cells_evaluated")
-        self._cells[key] = stats
-        return stats
+        """Positional-argument convenience over :meth:`evaluate_cell`."""
+        return self.evaluate_cell(
+            CellSpec(machine_name, workload_name, method_key, base_period)
+        )

@@ -13,13 +13,13 @@ LBR on Magny-Cours) render as ``--``.
 from __future__ import annotations
 
 import logging
-import time
 from dataclasses import dataclass, field
 
 from repro.obs import span
 from repro.obs.log import get_logger
-from repro.core.experiment import Harness
+from repro.core.experiment import CellSpec, Harness
 from repro.core.methods import METHODS
+from repro.core.parallel import evaluate_cells, plan_cells
 from repro.core.stats import AccuracyStats
 from repro.pmu.periods import next_prime
 from repro.workloads.registry import APP_NAMES, KERNEL_NAMES
@@ -43,14 +43,27 @@ class TableResult:
     title: str
     row_labels: list[tuple[str, str]]          # (machine, workload)
     column_labels: list[str]                   # method keys
-    cells: dict[tuple[str, str, str], AccuracyStats | None] = field(
+    cells: dict[CellSpec, AccuracyStats | None] = field(
         default_factory=dict
     )
 
     def get(
         self, machine: str, workload: str, method: str
     ) -> AccuracyStats | None:
-        return self.cells.get((machine, workload, method))
+        """Compatibility accessor: look a cell up ignoring the period.
+
+        Cells are keyed by :class:`CellSpec`; this scans for the first spec
+        matching (machine, workload, method), which is unique in tables
+        built by this module (one period per workload).  Legacy 3-tuple
+        keys are accepted too, so hand-built tables keep working.
+        """
+        wanted = (machine, workload, method)
+        for key, stats in self.cells.items():
+            ident = ((key.machine, key.workload, key.method)
+                     if isinstance(key, CellSpec) else tuple(key)[:3])
+            if ident == wanted:
+                return stats
+        return None
 
     def _cell_text(self, machine: str, workload: str, method: str) -> str:
         stats = self.get(machine, workload, method)
@@ -116,6 +129,7 @@ def _build_table(
     title: str,
     workloads: tuple[str, ...],
     methods: tuple[str, ...],
+    jobs: int = 1,
 ) -> TableResult:
     machines = harness.config.machines
     result = TableResult(
@@ -125,23 +139,25 @@ def _build_table(
     )
     progress = get_logger("progress")
     live = progress.isEnabledFor(logging.INFO)
-    total = len(workloads) * len(machines) * len(methods)
-    done = 0
-    with span("table", title=title, cells=total):
-        for workload in workloads:
-            for machine in machines:
-                for method in methods:
-                    started = time.perf_counter()
-                    stats = harness.cell(machine, workload, method)
-                    result.cells[(machine, workload, method)] = stats
-                    done += 1
-                    if live:
-                        progress.info(
-                            "[%3d/%d] %s/%s/%s  %s  (%.2fs)",
-                            done, total, machine, workload, method,
-                            "--" if stats is None else stats,
-                            time.perf_counter() - started,
-                        )
+    specs = plan_cells(harness.config, workloads, methods, harness=harness)
+
+    def on_result(spec, stats, seconds, done, total):
+        if live:
+            progress.info(
+                "[%3d/%d] %s/%s/%s  %s  (%.2fs)",
+                done, total, spec.machine, spec.workload, spec.method,
+                "--" if stats is None else stats, seconds,
+            )
+
+    with span("table", title=title, cells=len(specs), jobs=jobs):
+        evaluated = evaluate_cells(
+            harness.config, specs, jobs=jobs, cache=harness.cache,
+            harness=harness, on_result=on_result,
+        )
+    # Fill in plan order so serial and parallel builds are bit-identical,
+    # whatever order workers completed in.
+    for spec in specs:
+        result.cells[spec] = evaluated[spec]
     return result
 
 
@@ -149,6 +165,7 @@ def build_table1(
     harness: Harness,
     methods: tuple[str, ...] = TABLE_METHOD_KEYS,
     workloads: tuple[str, ...] = KERNEL_NAMES,
+    jobs: int = 1,
 ) -> TableResult:
     """Table 1: sampling-method errors on the kernels (lower is better)."""
     return _build_table(
@@ -156,6 +173,7 @@ def build_table1(
         "Table 1: kernel accuracy errors (lower is better)",
         workloads,
         methods,
+        jobs=jobs,
     )
 
 
@@ -163,6 +181,7 @@ def build_table2(
     harness: Harness,
     methods: tuple[str, ...] = TABLE_METHOD_KEYS,
     workloads: tuple[str, ...] = APP_NAMES,
+    jobs: int = 1,
 ) -> TableResult:
     """Table 2: errors per machine/application (lower is better)."""
     return _build_table(
@@ -170,6 +189,7 @@ def build_table2(
         "Table 2: application accuracy errors (lower is better)",
         workloads,
         methods,
+        jobs=jobs,
     )
 
 

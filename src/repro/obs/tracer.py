@@ -142,6 +142,34 @@ class Collector:
         with self._lock:
             return {record.name for record in self.spans}
 
+    def merge_spans(self, records: "list[SpanRecord]") -> None:
+        """Adopt spans recorded by another collector (e.g. a worker process).
+
+        Seq ids (and the parent links built from them) are remapped into
+        this collector's namespace so they stay unique alongside locally
+        recorded spans; adopted spans stream to the sink like local ones.
+        """
+        if not records:
+            return
+        with self._lock:
+            base = self._seq
+            self._seq += max(record.seq for record in records)
+        for record in records:
+            self._finish(SpanRecord(
+                seq=base + record.seq,
+                name=record.name,
+                path=record.path,
+                parent=None if record.parent is None
+                else base + record.parent,
+                depth=record.depth,
+                thread=record.thread,
+                ts=record.ts,
+                wall_s=record.wall_s,
+                cpu_s=record.cpu_s,
+                attrs=record.attrs,
+                ok=record.ok,
+            ))
+
     def flush_metrics(self) -> None:
         """Emit one ``counter``/``gauge`` event per metric to the sink."""
         if self.sink is None:

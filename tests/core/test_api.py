@@ -1,0 +1,70 @@
+"""Smoke tests for the stable ``repro.api`` facade."""
+
+import pytest
+
+import repro
+from repro import api
+from repro.core.tables import TableResult
+
+CONFIG = api.ExperimentConfig(scale=0.01, repeats=1)
+
+
+def test_facade_is_exported_from_the_top_level_package():
+    assert repro.api is api
+    for name in ("run_table1", "run_table2", "evaluate_cell",
+                 "load_table", "save_table", "CellSpec", "ArtifactCache"):
+        assert name in dir(repro)
+    assert "run_table1" in repro.__all__
+    assert repro.run_table1 is api.run_table1
+
+
+def test_run_table1_smoke():
+    table = api.run_table1(CONFIG, methods=("classic",),
+                           workloads=("latency_biased",))
+    assert isinstance(table, TableResult)
+    assert table.get("ivybridge", "latency_biased", "classic") is not None
+
+
+def test_run_table2_smoke():
+    table = api.run_table2(CONFIG, methods=("classic",), workloads=("mcf",))
+    assert table.get("ivybridge", "mcf", "classic") is not None
+
+
+def test_evaluate_cell_smoke():
+    stats = api.evaluate_cell(
+        api.CellSpec("ivybridge", "latency_biased", "precise"), CONFIG
+    )
+    assert stats is not None
+    assert stats.repeats == 1
+    # Blank cell: no LBR on AMD.
+    assert api.evaluate_cell(
+        api.CellSpec("magnycours", "latency_biased", "lbr"), CONFIG
+    ) is None
+
+
+def test_run_table1_accepts_cache_paths(tmp_path):
+    table = api.run_table1(CONFIG, cache=tmp_path, methods=("classic",),
+                           workloads=("latency_biased",))
+    again = api.run_table1(CONFIG, cache=str(tmp_path), methods=("classic",),
+                           workloads=("latency_biased",))
+    assert again.cells == table.cells
+    assert api.ArtifactCache(tmp_path).stats().entries > 0
+
+
+def test_save_and_load_table_round_trip(tmp_path):
+    table = api.run_table1(CONFIG, methods=("classic", "lbr"),
+                           workloads=("latency_biased",))
+    path = api.save_table(table, tmp_path / "table1.json")
+    loaded = api.load_table(path)
+    assert loaded.title == table.title
+    assert loaded.row_labels == table.row_labels
+    assert loaded.column_labels == table.column_labels
+    assert loaded.cells == table.cells           # per-seed errors preserved
+    assert loaded.render() == table.render()
+
+
+def test_load_table_rejects_unknown_format(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"format": 999, "title": "x", "cells": []}')
+    with pytest.raises(ValueError, match="format"):
+        api.load_table(path)

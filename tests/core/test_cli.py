@@ -146,6 +146,41 @@ def test_trace_writes_schema_valid_jsonl_and_manifest(tmp_path, capsys):
     assert manifest["phases"]["cell"]["count"] > 0
 
 
+def test_table1_jobs_matches_serial(capsys):
+    base = ["table1", "--scale", "0.01", "--repeats", "1", "-q"]
+    assert main(base) == 0
+    serial = capsys.readouterr().out
+    assert main(base + ["--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert parallel == serial
+
+
+def test_cache_flag_populates_store_and_cache_subcommands(tmp_path, capsys):
+    store = tmp_path / "cache"
+    run = ["table1", "--scale", "0.01", "--repeats", "1", "-q",
+           "--cache-dir", str(store)]
+    assert main(run) == 0
+    cold = capsys.readouterr().out
+
+    assert main(["cache", "stats", "--cache-dir", str(store)]) == 0
+    stats_out = capsys.readouterr().out
+    assert str(store) in stats_out
+    assert "entries:    0" not in stats_out
+
+    # Warm re-run reproduces the table from the cache alone.
+    assert main(run + ["--trace", str(tmp_path / "warm.jsonl")]) == 0
+    warm = capsys.readouterr().out
+    assert warm == cold
+    manifest = json.loads((tmp_path / "warm.meta.json").read_text())
+    assert manifest["counters"]["cache.hits"] > 0
+    assert "harness.cells_evaluated" not in manifest["counters"]
+
+    assert main(["cache", "clear", "--cache-dir", str(store)]) == 0
+    assert "removed" in capsys.readouterr().out
+    assert main(["cache", "stats", "--cache-dir", str(store)]) == 0
+    assert "entries:    0" in capsys.readouterr().out
+
+
 def test_trace_on_single_run_cell(tmp_path, capsys):
     trace = tmp_path / "cell.jsonl"
     assert main([

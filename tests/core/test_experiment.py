@@ -1,8 +1,18 @@
 """Unit tests for the experiment harness (caching, cell evaluation)."""
 
+import numpy as np
 import pytest
 
-from repro.core.experiment import DEFAULT_MACHINES, ExperimentConfig, Harness
+from repro.cpu.machine import Machine
+from repro.cpu.uarch import ALL_UARCHES
+from repro.core.experiment import (
+    CellSpec,
+    DEFAULT_MACHINES,
+    ExperimentConfig,
+    Harness,
+    build_trace,
+)
+from repro.workloads.registry import get_workload
 
 
 @pytest.fixture(scope="module")
@@ -54,3 +64,34 @@ def test_period_for_uses_workload_default(harness):
 
 def test_config_seeds(harness):
     assert list(harness.config.seeds) == [100, 101]
+
+
+def test_trace_is_uarch_neutral():
+    """The trace builder involves no machine; every uarch observes the
+    identical dynamic block sequence (DESIGN.md: machines differ only in
+    timing and PMU features)."""
+    neutral = build_trace("latency_biased", scale=0.01)
+    program = get_workload("latency_biased").build(scale=0.01)
+    for uarch in ALL_UARCHES:
+        executed = Machine(uarch).execute(program).trace
+        np.testing.assert_array_equal(executed.block_seq, neutral.block_seq)
+
+
+def test_harness_trace_independent_of_machine_order():
+    forward = Harness(ExperimentConfig(scale=0.01, machines=DEFAULT_MACHINES))
+    reverse = Harness(ExperimentConfig(
+        scale=0.01, machines=tuple(reversed(DEFAULT_MACHINES))
+    ))
+    np.testing.assert_array_equal(
+        forward.trace("latency_biased").block_seq,
+        reverse.trace("latency_biased").block_seq,
+    )
+
+
+def test_evaluate_cell_accepts_specs_and_matches_cell(harness):
+    spec = CellSpec("ivybridge", "latency_biased", "precise")
+    stats = harness.evaluate_cell(spec)
+    assert stats is harness.cell("ivybridge", "latency_biased", "precise")
+    # The resolved-period spec is the canonical in-process cache key.
+    assert CellSpec("ivybridge", "latency_biased", "precise", 2000) \
+        in harness._cells

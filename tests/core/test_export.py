@@ -6,6 +6,7 @@ import json
 
 import pytest
 
+from repro.core.experiment import CellSpec
 from repro.core.export import load_table_json, table_to_csv, table_to_json
 from repro.core.stats import summarize_errors
 from repro.core.tables import TableResult
@@ -18,16 +19,14 @@ def table():
         row_labels=[("ivybridge", "mcf"), ("westmere", "mcf")],
         column_labels=["classic", "lbr"],
     )
-    result.cells[("ivybridge", "mcf", "classic")] = summarize_errors(
-        "classic", [0.5, 0.6]
-    )
-    result.cells[("ivybridge", "mcf", "lbr")] = summarize_errors(
+    result.cells[CellSpec("ivybridge", "mcf", "classic", 500)] = \
+        summarize_errors("classic", [0.5, 0.6])
+    result.cells[CellSpec("ivybridge", "mcf", "lbr", 500)] = summarize_errors(
         "lbr", [0.1]
     )
-    result.cells[("westmere", "mcf", "classic")] = summarize_errors(
-        "classic", [0.7]
-    )
-    result.cells[("westmere", "mcf", "lbr")] = None  # blank cell
+    result.cells[CellSpec("westmere", "mcf", "classic", 500)] = \
+        summarize_errors("classic", [0.7])
+    result.cells[CellSpec("westmere", "mcf", "lbr", 500)] = None  # blank cell
     return result
 
 
