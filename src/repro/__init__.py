@@ -24,6 +24,7 @@ from repro.errors import (
     PMUConfigError,
     ProgramError,
     ReproError,
+    SweepError,
     WorkloadError,
 )
 from repro.isa import (
@@ -80,8 +81,12 @@ from repro.core import (
 from repro.workloads import Workload, get_workload, list_workloads
 from repro import api
 from repro.api import (
+    CampaignResult,
+    CampaignSpec,
     evaluate_cell,
+    load_campaign,
     load_table,
+    run_campaign,
     run_table1,
     run_table2,
     save_table,
@@ -96,6 +101,7 @@ __all__ = [
     "PMUConfigError",
     "WorkloadError",
     "AnalysisError",
+    "SweepError",
     # isa
     "Opcode",
     "LatencyClass",
@@ -157,6 +163,11 @@ __all__ = [
     "run_table2",
     "load_table",
     "save_table",
+    # campaigns (repro.sweep)
+    "CampaignResult",
+    "CampaignSpec",
+    "load_campaign",
+    "run_campaign",
     # workloads
     "Workload",
     "get_workload",

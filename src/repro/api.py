@@ -13,6 +13,11 @@ of reaching into ``repro.core.*`` internals:
         api.CellSpec("ivybridge", "latency_biased", "lbr")
     )
 
+    spec = api.CampaignSpec(name="periods", workloads=("callchain",),
+                            methods=("classic", "lbr"),
+                            periods=(500, 1000, 2000))
+    campaign = api.run_campaign(spec, "campaigns/periods", jobs=4)
+
 Everything accepts plain values: ``config`` is an
 :class:`~repro.core.experiment.ExperimentConfig` (or ``None`` for the
 paper's defaults), ``cache`` is ``True``/``False``, a directory path, or an
@@ -36,16 +41,22 @@ from repro.core.tables import (
     build_table1,
     build_table2,
 )
+from repro.sweep import CampaignResult, CampaignSpec, load_campaign
+from repro.sweep import run_campaign_dir as _run_campaign_dir
 from repro.workloads.registry import APP_NAMES, KERNEL_NAMES
 
 __all__ = [
     "ArtifactCache",
+    "CampaignResult",
+    "CampaignSpec",
     "CellSpec",
     "ExperimentConfig",
     "Harness",
     "TableResult",
     "evaluate_cell",
+    "load_campaign",
     "load_table",
+    "run_campaign",
     "run_table1",
     "run_table2",
     "save_table",
@@ -99,6 +110,28 @@ def evaluate_cell(
     on the machine).
     """
     return _harness(config, cache).evaluate_cell(spec)
+
+
+def run_campaign(
+    spec: CampaignSpec | str | Path,
+    out_dir: str | Path,
+    *,
+    jobs: int = 1,
+    cache: CacheArg = None,
+    resume: bool = False,
+) -> CampaignResult:
+    """Run (or ``resume``) an experiment campaign into its directory.
+
+    ``spec`` is a :class:`~repro.sweep.CampaignSpec` or a path to its JSON
+    form.  The directory receives the journal, ``campaign.json``, markdown
+    and CSV reports, and a provenance manifest; see :mod:`repro.sweep`.
+    """
+    if not isinstance(spec, CampaignSpec):
+        spec = CampaignSpec.load(spec)
+    return _run_campaign_dir(
+        spec, out_dir, jobs=jobs, cache=resolve_cache(cache), resume=resume,
+        manifest_extra={"command": "api.run_campaign"},
+    )
 
 
 def save_table(table: TableResult, path: str | Path) -> Path:

@@ -27,7 +27,7 @@ from repro.core.stats import (
     improvement_factor,
     summarize_errors,
 )
-from repro.core.runner import evaluate_method, run_method
+from repro.core.runner import cell_seed, evaluate_method, run_method
 from repro.core.cache import (
     ArtifactCache,
     CACHE_FORMAT_VERSION,
@@ -94,6 +94,7 @@ __all__ = [
     "geometric_mean",
     "improvement_factor",
     "summarize_errors",
+    "cell_seed",
     "evaluate_method",
     "run_method",
     "ArtifactCache",

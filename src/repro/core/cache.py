@@ -87,6 +87,15 @@ class CacheStats:
             lines.append(f"  {kind:12s} {n}")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict[str, object]:
+        """Machine-readable form (``repro-pmu cache stats --json``)."""
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "by_kind": dict(sorted(self.by_kind.items())),
+        }
+
 
 class ArtifactCache:
     """Content-addressed on-disk store for traces, references, and stats.

@@ -8,6 +8,9 @@ Examples::
     repro-pmu table3
     repro-pmu claims --scale 0.5 --quiet
     repro-pmu run --machine ivybridge --workload mcf --method lbr --seed 7
+    repro-pmu sweep run spec.json --out campaigns/periods --jobs 4
+    repro-pmu sweep status campaigns/periods --json
+    repro-pmu cache stats --json
 
 Every subcommand accepts ``--verbose``/``--quiet`` (diagnostics and live
 per-cell progress go to stderr through ``logging``) and ``--trace
@@ -18,11 +21,16 @@ the file and writes a provenance manifest (``FILE.meta.json``) next to it.
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 import time
+from pathlib import Path
 
 from repro._version import __version__
+from repro.errors import SweepError
 from repro.cpu.uarch import ALL_UARCHES, get_uarch
+from repro.obs.log import get_logger
 from repro.obs import (
     Collector,
     JsonlWriter,
@@ -154,7 +162,11 @@ def _cmd_table2(args: argparse.Namespace, out: Emitter) -> int:
 def _cmd_cache(args: argparse.Namespace, out: Emitter) -> int:
     cache = ArtifactCache(args.cache_dir)
     if args.action == "stats":
-        out.result(cache.stats().render())
+        stats = cache.stats()
+        if args.json:
+            out.result(json.dumps(stats.to_dict(), indent=2))
+        else:
+            out.result(stats.render())
         return 0
     removed = cache.clear()
     out.result(f"removed {removed} cache entries from {cache.root}")
@@ -163,6 +175,101 @@ def _cmd_cache(args: argparse.Namespace, out: Emitter) -> int:
 
 def _cmd_table3(_: argparse.Namespace, out: Emitter) -> int:
     out.result(render_table3())
+    return 0
+
+
+def _cmd_sweep_run(args: argparse.Namespace, out: Emitter) -> int:
+    from repro.sweep import CampaignSpec, run_campaign_dir
+
+    spec = CampaignSpec.load(args.spec)
+    progress = get_logger("progress")
+    live = progress.isEnabledFor(logging.INFO)
+
+    def on_point(point, stats, done, total):
+        if live:
+            progress.info("[%3d/%d] %s  %s", done, total, point,
+                          "--" if stats is None else stats)
+
+    result = run_campaign_dir(
+        spec, args.out, jobs=args.jobs, cache=_resolve_cache(args),
+        resume=args.resume, on_point=on_point,
+        manifest_extra={"command": "sweep run"},
+    )
+    out.result(
+        f"campaign {spec.name!r}: {result.num_points} cells "
+        f"({result.num_blank} blank) -> {args.out}/report.md"
+    )
+    return 0
+
+
+def _sweep_progress(out_dir: Path) -> dict[str, object]:
+    """Journal-derived progress of one campaign directory."""
+    from repro.sweep import CampaignSpec, load_journal
+    from repro.sweep.engine import JOURNAL_FILENAME, SPEC_FILENAME
+
+    spec = CampaignSpec.load(out_dir / SPEC_FILENAME)
+    points = spec.expand()
+    journal_path = out_dir / JOURNAL_FILENAME
+    completed: dict[str, object] = {}
+    if journal_path.exists():
+        state = load_journal(journal_path)
+        if state.spec_digest != spec.digest():
+            raise SweepError(
+                f"journal in {out_dir} does not match its spec.json"
+            )
+        completed = state.completed
+    done = sum(1 for p in points if p.point_id in completed)
+    blank = sum(1 for p in points
+                if completed.get(p.point_id, ()) is None)
+    return {
+        "name": spec.name,
+        "spec_digest": spec.digest(),
+        "cells_total": len(points),
+        "cells_done": done,
+        "cells_blank": blank,
+        "cells_remaining": len(points) - done,
+        "complete": done == len(points),
+    }
+
+
+def _cmd_sweep_status(args: argparse.Namespace, out: Emitter) -> int:
+    status = _sweep_progress(Path(args.out))
+    cache = _resolve_cache(args)
+    if cache is not None:
+        status["cache"] = cache.stats().to_dict()
+    if args.json:
+        out.result(json.dumps(status, indent=2))
+        return 0
+    out.result(f"campaign:  {status['name']}")
+    out.result(f"cells:     {status['cells_done']}/{status['cells_total']} "
+               f"done ({status['cells_blank']} blank)")
+    if status["complete"]:
+        out.result("state:     complete")
+    else:
+        out.result(f"state:     {status['cells_remaining']} remaining "
+                   "(finish with: sweep run SPEC --out DIR --resume)")
+    if "cache" in status:
+        stats = status["cache"]
+        out.result(f"cache:     {stats['entries']} entries, "
+                   f"{stats['total_bytes']:,} bytes at {stats['root']}")
+    return 0
+
+
+def _cmd_sweep_report(args: argparse.Namespace, out: Emitter) -> int:
+    from repro.sweep import CampaignSpec, result_from_journal, write_reports
+    from repro.sweep.engine import (
+        DOCUMENT_FILENAME,
+        JOURNAL_FILENAME,
+        SPEC_FILENAME,
+    )
+
+    out_dir = Path(args.out)
+    spec = CampaignSpec.load(out_dir / SPEC_FILENAME)
+    result = result_from_journal(spec, out_dir / JOURNAL_FILENAME)
+    result.save(out_dir / DOCUMENT_FILENAME)
+    paths = write_reports(result, out_dir)
+    for path in paths:
+        out.result(str(path))
     return 0
 
 
@@ -224,7 +331,8 @@ def _config_summary(args: argparse.Namespace) -> dict[str, object]:
     """The experiment knobs of one invocation, for the manifest."""
     summary: dict[str, object] = {"command": args.command}
     for knob in ("scale", "repeats", "seed", "machine", "workload", "method",
-                 "period", "function", "no_lbr", "jobs", "cache_dir"):
+                 "period", "function", "no_lbr", "jobs", "cache_dir",
+                 "spec", "out", "resume"):
         value = getattr(args, knob, None)
         if value is not None:
             summary[knob] = value
@@ -267,8 +375,58 @@ def main(argv: list[str] | None = None) -> int:
     pk.add_argument("--cache-dir", metavar="DIR", default=None,
                     help="cache location (default ~/.cache/repro or "
                          "$REPRO_CACHE_DIR)")
+    pk.add_argument("--json", action="store_true",
+                    help="emit stats as JSON (for scripts and sweep status)")
     _add_obs_args(pk)
     pk.set_defaults(func=_cmd_cache)
+
+    psw = sub.add_parser(
+        "sweep",
+        help="run/inspect resumable experiment campaigns (repro.sweep)",
+    )
+    swsub = psw.add_subparsers(dest="sweep_command", required=True)
+
+    pswr = swsub.add_parser(
+        "run", help="execute (or --resume) a campaign spec into --out DIR")
+    pswr.add_argument("spec", metavar="SPEC.json",
+                      help="campaign spec file (see EXPERIMENTS.md "
+                           "'Running a campaign')")
+    pswr.add_argument("--out", required=True, metavar="DIR",
+                      help="campaign directory (journal, reports, manifest)")
+    pswr.add_argument("--resume", action="store_true",
+                      help="continue an interrupted campaign from its "
+                           "journal; journaled cells are never re-evaluated")
+    _add_jobs_arg(pswr)
+    pswr.add_argument(
+        "--cache", action="store_true",
+        help="persist cell artifacts in the artifact cache "
+             "(~/.cache/repro or $REPRO_CACHE_DIR)",
+    )
+    pswr.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="artifact cache location (implies --cache)",
+    )
+    _add_obs_args(pswr)
+    pswr.set_defaults(func=_cmd_sweep_run)
+
+    psws = swsub.add_parser(
+        "status", help="journal-derived progress of a campaign directory")
+    psws.add_argument("out", metavar="DIR", help="campaign directory")
+    psws.add_argument("--json", action="store_true",
+                      help="machine-readable status")
+    psws.add_argument("--cache", action="store_true",
+                      help="include artifact-cache stats")
+    psws.add_argument("--cache-dir", metavar="DIR", default=None,
+                      help="artifact cache location (implies --cache)")
+    _add_obs_args(psws)
+    psws.set_defaults(func=_cmd_sweep_status)
+
+    pswp = swsub.add_parser(
+        "report",
+        help="re-render campaign.json/report.md/CSVs from the journal")
+    pswp.add_argument("out", metavar="DIR", help="campaign directory")
+    _add_obs_args(pswp)
+    pswp.set_defaults(func=_cmd_sweep_report)
 
     p3 = sub.add_parser("table3", help="render Table 3 (method catalogue)")
     _add_obs_args(p3)
@@ -332,7 +490,11 @@ def main(argv: list[str] | None = None) -> int:
 
     started = time.perf_counter()
     try:
-        return args.func(args, out)
+        try:
+            return args.func(args, out)
+        except (SweepError, FileNotFoundError) as exc:
+            out.error("error: %s", exc)
+            return 2
     finally:
         if collector is not None:
             install(previous)

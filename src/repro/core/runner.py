@@ -8,6 +8,7 @@ counting mode), and score against the instrumentation reference.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable
 
 import numpy as np
@@ -31,6 +32,21 @@ _ATTRIBUTORS = {
 }
 
 
+def cell_seed(
+    machine: str, workload: str, method_key: str, period: int
+) -> int:
+    """Deterministic RNG seed for one experiment cell.
+
+    A stable hash of the cell coordinates, identical in every process and
+    on every run — the seed randomized-period methods fall back to when no
+    explicit seed is given, so parallel and serial campaign runs stay
+    bit-identical (DESIGN.md §7).
+    """
+    text = f"{machine}/{workload}/{method_key}@{period}"
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 def run_method(
     execution: Execution,
     method_key: str,
@@ -44,8 +60,19 @@ def run_method(
     Returns the (optionally normalized) profile plus the raw sample batch
     for callers that inspect samples directly. Callers that repeat the same
     method pass the pre-bound ``resolved`` method to skip re-resolution.
+
+    ``rng=None`` does *not* mean fresh OS entropy: randomized-period
+    methods must never depend on process-global or ambient RNG state, or
+    parallel runs would diverge from serial ones.  It derives a
+    deterministic per-cell seed (:func:`cell_seed`) instead; pass a seeded
+    generator (as :func:`evaluate_method` does) for repeat-level control.
     """
-    if not isinstance(rng, np.random.Generator):
+    if rng is None:
+        rng = np.random.default_rng(cell_seed(
+            execution.uarch.name, execution.program.name,
+            method_key, base_period,
+        ))
+    elif not isinstance(rng, np.random.Generator):
         rng = np.random.default_rng(rng)
     if resolved is None:
         resolved = resolve_method(method_key, execution.uarch, base_period)

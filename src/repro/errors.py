@@ -29,3 +29,7 @@ class WorkloadError(ReproError):
 
 class AnalysisError(ReproError):
     """Profiles being compared are incompatible (different programs, empty)."""
+
+
+class SweepError(ReproError):
+    """A campaign spec, journal, or resume request is invalid."""

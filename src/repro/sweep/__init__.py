@@ -1,0 +1,155 @@
+"""repro.sweep — resumable experiment campaigns over the accuracy design
+space.
+
+The paper's tables are single points in a (workload × method × period ×
+seeds × machine) space; this package explores it systematically.  A
+campaign is a declarative :class:`CampaignSpec`; the engine expands it,
+executes the cells through the parallel scheduler and artifact cache,
+journals every completed cell to an append-only JSONL checkpoint (so an
+interrupted run resumes exactly where it stopped), and renders bootstrap
+summaries, period-sensitivity curves, and seed-convergence curves as
+markdown/CSV reports plus a versioned ``campaign.json`` document.
+
+Typical use::
+
+    from repro.sweep import CampaignSpec, run_campaign_dir
+
+    spec = CampaignSpec(
+        name="period-sweep",
+        workloads=("callchain",),
+        methods=("classic", "precise_prime_rand"),
+        periods=(500, 1000, 2000, 4000),
+        seed_counts=(1, 3, 5),
+        scale=0.05,
+    )
+    result = run_campaign_dir(spec, "campaigns/period-sweep", jobs=4)
+
+or, from the command line::
+
+    repro-pmu sweep run spec.json --out campaigns/period-sweep --jobs 4
+    repro-pmu sweep status campaigns/period-sweep
+    repro-pmu sweep run spec.json --out campaigns/period-sweep --resume
+    repro-pmu sweep report campaigns/period-sweep
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import SweepError
+from repro.obs import build_manifest, get_collector, write_manifest
+from repro.core.cache import ArtifactCache
+from repro.sweep.aggregate import (
+    BootstrapCI,
+    CurvePoint,
+    SummaryRow,
+    bootstrap_ci,
+    period_sensitivity,
+    seed_convergence,
+    summarize,
+)
+from repro.sweep.engine import (
+    CAMPAIGN_DOCUMENT_VERSION,
+    DOCUMENT_FILENAME,
+    JOURNAL_FILENAME,
+    SPEC_FILENAME,
+    CampaignResult,
+    ProgressFn,
+    result_from_journal,
+    run_campaign,
+)
+from repro.sweep.journal import CampaignJournal, JournalState, load_journal
+from repro.sweep.report import render_markdown, write_reports
+from repro.sweep.spec import CampaignSpec, SweepPoint, log_spaced_periods
+
+__all__ = [
+    "BootstrapCI",
+    "CAMPAIGN_DOCUMENT_VERSION",
+    "CampaignJournal",
+    "CampaignResult",
+    "CampaignSpec",
+    "CurvePoint",
+    "JournalState",
+    "ProgressFn",
+    "SummaryRow",
+    "SweepError",
+    "SweepPoint",
+    "bootstrap_ci",
+    "load_campaign",
+    "load_journal",
+    "log_spaced_periods",
+    "period_sensitivity",
+    "render_markdown",
+    "result_from_journal",
+    "run_campaign",
+    "run_campaign_dir",
+    "seed_convergence",
+    "summarize",
+    "write_reports",
+]
+
+
+def run_campaign_dir(
+    spec: CampaignSpec,
+    out_dir: str | Path,
+    *,
+    jobs: int = 1,
+    cache: ArtifactCache | None = None,
+    resume: bool = False,
+    on_point: ProgressFn | None = None,
+    manifest_extra: dict[str, object] | None = None,
+) -> CampaignResult:
+    """Run (or finish) a campaign in its directory and write every artifact.
+
+    The directory layout is the unit the CLI operates on::
+
+        <out>/spec.json            # the campaign spec (written on first run)
+        <out>/journal.jsonl        # append-only checkpoint
+        <out>/campaign.json        # versioned machine-readable results
+        <out>/report.md            # summary + figure-style sections
+        <out>/*.csv                # flat aggregates
+        <out>/campaign.meta.json   # provenance manifest
+
+    On resume the stored spec must match ``spec`` (by digest); running a
+    different spec into an existing campaign directory is an error.
+    """
+    out_dir = Path(out_dir)
+    spec_path = out_dir / SPEC_FILENAME
+    if spec_path.exists():
+        stored = CampaignSpec.load(spec_path)
+        if stored.digest() != spec.digest():
+            raise SweepError(
+                f"{spec_path} holds a different campaign "
+                f"({stored.name!r}); use a fresh --out directory"
+            )
+    else:
+        spec.save(spec_path)
+
+    result = run_campaign(
+        spec,
+        out_dir / JOURNAL_FILENAME,
+        jobs=jobs,
+        cache=cache,
+        resume=resume,
+        on_point=on_point,
+    )
+    result.save(out_dir / DOCUMENT_FILENAME)
+    write_reports(result, out_dir)
+
+    manifest = build_manifest(
+        config={
+            "campaign": spec.to_dict(),
+            "spec_digest": spec.digest(),
+            "jobs": jobs,
+            "resume": resume,
+        },
+        collector=get_collector(),
+        extra={"out_dir": str(out_dir), **(manifest_extra or {})},
+    )
+    write_manifest(out_dir / "campaign.meta.json", manifest)
+    return result
+
+
+def load_campaign(path: str | Path) -> CampaignResult:
+    """Load a campaign document (``campaign.json`` or its directory)."""
+    return CampaignResult.load(path)

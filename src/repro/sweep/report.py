@@ -1,0 +1,168 @@
+"""Figure-style campaign reports: markdown, CSV, and the versioned document.
+
+A campaign's deliverables mirror what the paper would have plotted:
+
+* ``report.md`` — the human-facing report: campaign header, the pooled
+  method × period summary with bootstrap confidence intervals, and two
+  "figures" rendered as aligned ASCII bar charts (markdown code blocks):
+  period sensitivity per method and seed convergence per method,
+* ``summary.csv`` / ``period_sensitivity.csv`` / ``seed_convergence.csv``
+  — the same aggregates as flat records for plotting tools,
+* ``campaign.json`` — the machine-readable document with raw per-seed
+  errors (written by the engine; this module only reads results).
+
+Everything here is a pure function of the :class:`CampaignResult`, so a
+resumed campaign re-renders byte-identical reports — the acceptance
+criterion of the resume feature.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from pathlib import Path
+
+from repro.sweep.aggregate import (
+    CurvePoint,
+    period_sensitivity,
+    seed_convergence,
+    summarize,
+)
+from repro.sweep.engine import CampaignResult
+
+#: Width (characters) of the ASCII bars in figure blocks.
+BAR_WIDTH = 32
+
+
+def _bar(value: float, maximum: float, width: int = BAR_WIDTH) -> str:
+    """A left-aligned ASCII bar scaled against ``maximum``."""
+    if maximum <= 0:
+        return ""
+    filled = round(width * min(value / maximum, 1.0))
+    return "#" * filled
+
+
+def _figure_block(curves: dict[str, list[CurvePoint]], x_label: str) -> str:
+    """Render per-method curves as an aligned ASCII chart."""
+    peak = max(
+        (pt.ci.mean for pts in curves.values() for pt in pts), default=0.0
+    )
+    lines: list[str] = []
+    for method, pts in curves.items():
+        lines.append(f"{method}")
+        for pt in pts:
+            lines.append(
+                f"  {x_label} {pt.x:>8,}  err {pt.ci.mean:8.4f} "
+                f"[{pt.ci.lo:.4f}, {pt.ci.hi:.4f}]  "
+                f"|{_bar(pt.ci.mean, peak):<{BAR_WIDTH}}|"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_markdown(result: CampaignResult) -> str:
+    """The full markdown report of one campaign."""
+    spec = result.spec
+    rows = summarize(result)
+    lines = [
+        f"# Campaign report: {spec.name}",
+        "",
+        f"- spec digest: `{spec.digest()}`",
+        f"- scale {spec.scale}, seed base {spec.seed_base}, "
+        f"seed counts {list(spec.seed_counts)}",
+        f"- workloads: {', '.join(spec.workloads)}",
+        f"- machines: {', '.join(spec.machines)}",
+        f"- methods: {', '.join(spec.methods)}",
+        "- periods: "
+        + ("per-workload defaults" if spec.periods is None
+           else ", ".join(f"{p:,}" for p in spec.periods)),
+        f"- cells: {result.num_points} "
+        f"({result.num_blank} blank: method unavailable on machine)",
+        "",
+        "## Summary — mean err(x) with 95% bootstrap CI "
+        f"(pooled at {spec.max_repeats} seeds)",
+        "",
+        "| method | period | mean err | 95% CI | cells |",
+        "|---|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row.method} | {row.period:,} | {row.ci.mean:.4f} "
+            f"| [{row.ci.lo:.4f}, {row.ci.hi:.4f}] | {row.cells} |"
+        )
+    lines += [
+        "",
+        "## Figure 1 — period sensitivity (err vs base period, per method)",
+        "",
+        "```",
+        _figure_block(period_sensitivity(result), "period"),
+        "```",
+        "",
+        "## Figure 2 — seed convergence (err CI vs seeded repeats,"
+        " per method)",
+        "",
+        "```",
+        _figure_block(seed_convergence(result), "seeds"),
+        "```",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def _write_atomic(path: Path, text: str) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def _csv_text(header: list[str], records: list[list[object]]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(header)
+    writer.writerows(records)
+    return buffer.getvalue()
+
+
+def summary_csv(result: CampaignResult) -> str:
+    return _csv_text(
+        ["method", "period", "mean_err", "ci_lo", "ci_hi", "cells",
+         "samples"],
+        [[r.method, r.period, f"{r.ci.mean:.6f}", f"{r.ci.lo:.6f}",
+          f"{r.ci.hi:.6f}", r.cells, r.ci.samples] for r in summarize(result)],
+    )
+
+
+def period_sensitivity_csv(result: CampaignResult) -> str:
+    return _csv_text(
+        ["method", "period", "mean_err", "ci_lo", "ci_hi"],
+        [[method, pt.x, f"{pt.ci.mean:.6f}", f"{pt.ci.lo:.6f}",
+          f"{pt.ci.hi:.6f}"]
+         for method, pts in period_sensitivity(result).items()
+         for pt in pts],
+    )
+
+
+def seed_convergence_csv(result: CampaignResult) -> str:
+    return _csv_text(
+        ["method", "seeds", "mean_err", "ci_lo", "ci_hi", "ci_half_width"],
+        [[method, pt.x, f"{pt.ci.mean:.6f}", f"{pt.ci.lo:.6f}",
+          f"{pt.ci.hi:.6f}", f"{pt.ci.half_width:.6f}"]
+         for method, pts in seed_convergence(result).items()
+         for pt in pts],
+    )
+
+
+def write_reports(result: CampaignResult, out_dir: str | Path) -> list[Path]:
+    """Write report.md plus the three CSVs into ``out_dir``; returns paths."""
+    out_dir = Path(out_dir)
+    return [
+        _write_atomic(out_dir / "report.md", render_markdown(result)),
+        _write_atomic(out_dir / "summary.csv", summary_csv(result)),
+        _write_atomic(out_dir / "period_sensitivity.csv",
+                      period_sensitivity_csv(result)),
+        _write_atomic(out_dir / "seed_convergence.csv",
+                      seed_convergence_csv(result)),
+    ]

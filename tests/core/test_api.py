@@ -63,6 +63,44 @@ def test_save_and_load_table_round_trip(tmp_path):
     assert loaded.render() == table.render()
 
 
+def test_run_campaign_facade(tmp_path):
+    spec = api.CampaignSpec(
+        name="facade-smoke", workloads=("latency_biased",),
+        methods=("classic",), machines=("ivybridge",),
+        periods=(100,), seed_counts=(1,), scale=0.01,
+    )
+    out = tmp_path / "camp"
+    result = api.run_campaign(spec, out, cache=tmp_path / "cache")
+    assert result.num_points == 1
+    assert (out / "report.md").exists()
+    assert api.load_campaign(out).to_document() == result.to_document()
+    assert api.ArtifactCache(tmp_path / "cache").stats().entries > 0
+    # A spec file path works too, and --resume finishes instantly.
+    again = api.run_campaign(out / "spec.json", out, resume=True)
+    assert again.to_document() == result.to_document()
+    for name in ("CampaignSpec", "run_campaign", "load_campaign"):
+        assert name in repro.__all__
+
+
+def test_save_and_load_table_preserve_nan_and_inf_errors(tmp_path):
+    import math
+
+    from repro import AccuracyStats
+
+    table = TableResult(title="degenerate",
+                        row_labels=[("ivybridge", "mcf")],
+                        column_labels=["classic"])
+    spec = api.CellSpec("ivybridge", "mcf", "classic", 500)
+    table.cells[spec] = AccuracyStats(
+        method="classic", errors=(0.25, float("nan"), float("inf")),
+    )
+    loaded = api.load_table(api.save_table(table, tmp_path / "t.json"))
+    errors = loaded.cells[spec].errors
+    assert errors[0] == 0.25
+    assert math.isnan(errors[1])
+    assert math.isinf(errors[2]) and errors[2] > 0
+
+
 def test_load_table_rejects_unknown_format(tmp_path):
     path = tmp_path / "bad.json"
     path.write_text('{"format": 999, "title": "x", "cells": []}')

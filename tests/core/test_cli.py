@@ -181,6 +181,94 @@ def test_cache_flag_populates_store_and_cache_subcommands(tmp_path, capsys):
     assert "entries:    0" in capsys.readouterr().out
 
 
+def test_cache_stats_json(tmp_path, capsys):
+    store = tmp_path / "cache"
+    assert main(["table1", "--scale", "0.01", "--repeats", "1", "-q",
+                 "--cache-dir", str(store)]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--json", "--cache-dir", str(store)]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["root"] == str(store)
+    assert stats["entries"] > 0
+    assert stats["total_bytes"] > 0
+    assert set(stats["by_kind"]) >= {"stats"}
+    assert sum(stats["by_kind"].values()) == stats["entries"]
+
+
+def _write_sweep_spec(tmp_path):
+    from repro.sweep import CampaignSpec
+
+    spec = CampaignSpec(
+        name="cli-sweep", workloads=("latency_biased",),
+        methods=("classic", "precise"), machines=("ivybridge",),
+        periods=(100, 200), seed_counts=(1,), scale=0.01,
+    )
+    return spec, spec.save(tmp_path / "spec.json")
+
+
+def test_sweep_run_status_report_cycle(tmp_path, capsys):
+    spec, spec_path = _write_sweep_spec(tmp_path)
+    out_dir = tmp_path / "camp"
+
+    assert main(["sweep", "run", str(spec_path), "--out", str(out_dir),
+                 "-q"]) == 0
+    run_out = capsys.readouterr().out
+    assert "cli-sweep" in run_out and "4 cells" in run_out
+    assert (out_dir / "report.md").exists()
+
+    assert main(["sweep", "status", str(out_dir), "--json", "-q"]) == 0
+    status = json.loads(capsys.readouterr().out)
+    assert status["complete"] is True
+    assert status["cells_done"] == status["cells_total"] == spec.num_points
+    assert status["spec_digest"] == spec.digest()
+
+    before = (out_dir / "report.md").read_bytes()
+    (out_dir / "report.md").unlink()
+    assert main(["sweep", "report", str(out_dir), "-q"]) == 0
+    assert str(out_dir / "report.md") in capsys.readouterr().out
+    assert (out_dir / "report.md").read_bytes() == before
+
+
+def test_sweep_run_emits_progress_lines(tmp_path, capsys):
+    _, spec_path = _write_sweep_spec(tmp_path)
+    assert main(["sweep", "run", str(spec_path),
+                 "--out", str(tmp_path / "camp")]) == 0
+    captured = capsys.readouterr()
+    assert "[  1/4]" in captured.err
+    assert "ivybridge/latency_biased/classic@100x1" in captured.err
+
+
+def test_sweep_resume_cli_reevaluates_nothing(tmp_path, capsys):
+    spec, spec_path = _write_sweep_spec(tmp_path)
+    out_dir = tmp_path / "camp"
+    base = ["sweep", "run", str(spec_path), "--out", str(out_dir), "-q"]
+    assert main(base) == 0
+    capsys.readouterr()
+
+    # Re-running without --resume is refused, exit code 2.
+    assert main(base) == 2
+    assert "--resume" in capsys.readouterr().err
+
+    # Interrupt: drop the last journaled cell, then resume.
+    journal = out_dir / "journal.jsonl"
+    lines = journal.read_text().splitlines(keepends=True)
+    journal.write_text("".join(lines[:-1]))
+    baseline_report = (out_dir / "report.md").read_bytes()
+
+    trace = tmp_path / "resume.jsonl"
+    assert main(base + ["--resume", "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    manifest = json.loads((tmp_path / "resume.meta.json").read_text())
+    assert manifest["counters"]["sweep.cells_resumed"] == spec.num_points - 1
+    assert manifest["counters"]["sweep.cells_done"] == 1
+    assert (out_dir / "report.md").read_bytes() == baseline_report
+
+
+def test_sweep_status_of_missing_campaign_fails_cleanly(tmp_path, capsys):
+    assert main(["sweep", "status", str(tmp_path / "nope"), "-q"]) == 2
+    assert "No such file" in capsys.readouterr().err
+
+
 def test_trace_on_single_run_cell(tmp_path, capsys):
     trace = tmp_path / "cell.jsonl"
     assert main([

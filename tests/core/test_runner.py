@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro import IVY_BRIDGE, MAGNY_COURS, Machine
-from repro.core.runner import evaluate_method, run_method
+from repro import Machine
+from repro.core.runner import cell_seed, evaluate_method, run_method
 from repro.instrumentation import collect_reference
 
 
@@ -31,6 +31,36 @@ def test_run_method_accepts_generator_and_seed(branchy_execution):
                        rng=np.random.default_rng(5))
     p2, _ = run_method(branchy_execution, "classic", 50, rng=5)
     assert np.allclose(p1.block_instr_estimates, p2.block_instr_estimates)
+
+
+def test_cell_seed_is_stable_and_distinct():
+    seed = cell_seed("ivybridge", "mcf", "precise_prime_rand", 500)
+    assert seed == cell_seed("ivybridge", "mcf", "precise_prime_rand", 500)
+    others = {
+        cell_seed("westmere", "mcf", "precise_prime_rand", 500),
+        cell_seed("ivybridge", "callchain", "precise_prime_rand", 500),
+        cell_seed("ivybridge", "mcf", "precise", 500),
+        cell_seed("ivybridge", "mcf", "precise_prime_rand", 1000),
+    }
+    assert seed not in others
+
+
+def test_run_method_default_rng_is_deterministic(branchy_execution):
+    # Regression: rng=None used to mean fresh OS entropy, so randomized-
+    # period methods silently depended on ambient state.  It now derives
+    # the per-cell seed, making every call reproducible.
+    p1, _ = run_method(branchy_execution, "precise_prime_rand", 50)
+    p2, _ = run_method(branchy_execution, "precise_prime_rand", 50)
+    assert np.array_equal(p1.block_instr_estimates, p2.block_instr_estimates)
+    # And it is the per-cell seed, not some other fixed constant.
+    seeded, _ = run_method(
+        branchy_execution, "precise_prime_rand", 50,
+        rng=cell_seed(branchy_execution.uarch.name,
+                      branchy_execution.program.name,
+                      "precise_prime_rand", 50),
+    )
+    assert np.array_equal(p1.block_instr_estimates,
+                          seeded.block_instr_estimates)
 
 
 def test_evaluate_method_repeats(branchy_execution):

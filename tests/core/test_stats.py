@@ -5,7 +5,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import AnalysisError
 from repro.core.stats import (
-    AccuracyStats,
     geometric_mean,
     improvement_factor,
     summarize_errors,

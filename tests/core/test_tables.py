@@ -65,6 +65,36 @@ def test_table2_uses_app_workloads(harness):
     assert table.get("ivybridge", "mcf", "classic") is not None
 
 
+def test_get_accepts_legacy_tuple_keys():
+    from repro.core.stats import AccuracyStats
+    from repro.core.tables import TableResult
+
+    table = TableResult(title="legacy", row_labels=[("ivybridge", "mcf")],
+                        column_labels=["classic", "lbr"])
+    stats = AccuracyStats(method="classic", errors=(0.1, 0.2))
+    table.cells[("ivybridge", "mcf", "classic")] = stats          # 3-tuple
+    table.cells[("ivybridge", "mcf", "lbr", 2000)] = None         # 4-tuple
+    assert table.get("ivybridge", "mcf", "classic") is stats
+    assert table.get("ivybridge", "mcf", "lbr") is None
+    assert table.get("westmere", "mcf", "classic") is None
+    assert "0.150" in table.render()         # mean of (0.1, 0.2)
+
+
+def test_get_mixes_cellspec_and_tuple_keys():
+    from repro.core.experiment import CellSpec
+    from repro.core.stats import AccuracyStats
+    from repro.core.tables import TableResult
+
+    table = TableResult(title="mixed", row_labels=[("ivybridge", "mcf")],
+                        column_labels=["classic", "precise"])
+    by_spec = AccuracyStats(method="classic", errors=(0.3,))
+    by_tuple = AccuracyStats(method="precise", errors=(0.4,))
+    table.cells[CellSpec("ivybridge", "mcf", "classic", 500)] = by_spec
+    table.cells[("ivybridge", "mcf", "precise")] = by_tuple
+    assert table.get("ivybridge", "mcf", "classic") is by_spec
+    assert table.get("ivybridge", "mcf", "precise") is by_tuple
+
+
 def test_table3_render_mentions_paper_values():
     text = render_table3()
     assert "2,000,003" in text

@@ -7,7 +7,7 @@ from repro.errors import ExecutionError
 from repro.cpu.interpreter import run_program
 from repro.cpu.trace import Trace
 
-from tests.conftest import build_branchy, build_counted_loop
+from tests.conftest import build_counted_loop
 
 
 def test_empty_sequence_rejected(loop_program):

@@ -9,7 +9,7 @@ from repro.pmu.counting import (
     is_deterministic,
     read_counter,
 )
-from repro.pmu.events import EventKind, get_event, instructions_event, Precision
+from repro.pmu.events import get_event, instructions_event, Precision
 
 
 def test_exact_instruction_count(branchy_execution):

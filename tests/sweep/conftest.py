@@ -1,0 +1,39 @@
+"""Shared fixtures for the campaign subsystem tests.
+
+Campaigns are deliberately tiny (one workload at 5% scale) so the whole
+package stays in tier-1 time budget; the session-scoped ``tiny_result``
+is reused by every aggregation/report test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweep import CampaignSpec, run_campaign
+
+
+def make_spec(**overrides) -> CampaignSpec:
+    """A small but multi-axis campaign: 2 methods x 2 periods x 2 depths."""
+    fields = dict(
+        name="tiny",
+        workloads=("callchain",),
+        methods=("classic", "precise"),
+        machines=("ivybridge",),
+        periods=(500, 1000),
+        seed_counts=(1, 2),
+        scale=0.05,
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+@pytest.fixture(scope="session")
+def tiny_spec() -> CampaignSpec:
+    return make_spec()
+
+
+@pytest.fixture(scope="session")
+def tiny_result(tiny_spec, tmp_path_factory):
+    """One completed tiny campaign (8 cells), run once per session."""
+    journal = tmp_path_factory.mktemp("tiny-campaign") / "journal.jsonl"
+    return run_campaign(tiny_spec, journal)

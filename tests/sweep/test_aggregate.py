@@ -1,0 +1,73 @@
+"""Unit tests for bootstrap aggregation and curves."""
+
+import numpy as np
+import pytest
+
+from repro.sweep import (
+    bootstrap_ci,
+    period_sensitivity,
+    seed_convergence,
+    summarize,
+)
+
+
+class TestBootstrapCI:
+    def test_deterministic_for_fixed_inputs(self):
+        values = [0.1, 0.4, 0.2, 0.3, 0.25]
+        assert bootstrap_ci(values) == bootstrap_ci(values)
+
+    def test_interval_contains_mean(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0, 1, size=40).tolist()
+        ci = bootstrap_ci(values)
+        assert ci.lo <= ci.mean <= ci.hi
+        assert ci.mean == pytest.approx(float(np.mean(values)))
+        assert ci.samples == 40
+
+    def test_single_value_is_degenerate(self):
+        ci = bootstrap_ci([0.37])
+        assert (ci.mean, ci.lo, ci.hi) == (0.37, 0.37, 0.37)
+        assert ci.half_width == 0.0
+
+    def test_interval_narrows_with_more_samples(self):
+        rng = np.random.default_rng(11)
+        small = bootstrap_ci(rng.normal(0.5, 0.1, size=5).tolist())
+        large = bootstrap_ci(rng.normal(0.5, 0.1, size=500).tolist())
+        assert large.half_width < small.half_width
+
+    def test_empty_values_raise(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+
+class TestCampaignAggregates:
+    def test_summarize_covers_every_method_period_pair(self, tiny_result):
+        rows = summarize(tiny_result)
+        spec = tiny_result.spec
+        assert {(r.method, r.period) for r in rows} == {
+            (m, p) for m in spec.methods for p in spec.periods
+        }
+        # Rows follow spec method order, then ascending period.
+        assert [(r.method, r.period) for r in rows] == [
+            (m, p) for m in spec.methods for p in sorted(spec.periods)
+        ]
+        for row in rows:
+            assert row.cells == 1                  # one workload, one machine
+            assert row.ci.samples == spec.max_repeats
+            assert 0.0 <= row.ci.lo <= row.ci.mean <= row.ci.hi
+
+    def test_period_sensitivity_axes(self, tiny_result):
+        curves = period_sensitivity(tiny_result)
+        assert set(curves) == set(tiny_result.spec.methods)
+        for pts in curves.values():
+            assert [pt.x for pt in pts] == sorted(tiny_result.spec.periods)
+
+    def test_seed_convergence_axes(self, tiny_result):
+        curves = seed_convergence(tiny_result)
+        assert set(curves) == set(tiny_result.spec.methods)
+        for pts in curves.values():
+            assert [pt.x for pt in pts] == sorted(
+                tiny_result.spec.seed_counts
+            )
+            # Deeper seed pools can only use more samples.
+            assert pts[-1].ci.samples > pts[0].ci.samples

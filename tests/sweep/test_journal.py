@@ -1,0 +1,130 @@
+"""Unit tests for the append-only campaign journal."""
+
+import json
+
+import pytest
+
+from repro.core.stats import AccuracyStats
+from repro.errors import SweepError
+from repro.sweep import CampaignJournal, load_journal
+
+from tests.sweep.conftest import make_spec
+
+
+def write_journal(path, spec, points, *, stats=(0.1, 0.2)):
+    """A journal holding ``points`` completed entries."""
+    with CampaignJournal(path) as journal:
+        journal.open(spec)
+        for point in points:
+            journal.record(
+                point, AccuracyStats(method=point.cell.method, errors=stats)
+            )
+    return path
+
+
+def test_header_and_round_trip(tmp_path):
+    spec = make_spec()
+    points = spec.expand()
+    path = write_journal(tmp_path / "j.jsonl", spec, points[:3])
+
+    first = json.loads(path.read_text().splitlines()[0])
+    assert first["type"] == "campaign_start"
+    assert first["spec_digest"] == spec.digest()
+    assert first["points"] == spec.num_points
+
+    state = load_journal(path)
+    assert state.name == spec.name
+    assert state.spec_digest == spec.digest()
+    assert set(state.completed) == {p.point_id for p in points[:3]}
+    stats = state.stats_for(points[0])
+    assert stats is not None and stats.errors == (0.1, 0.2)
+
+
+def test_blank_cells_round_trip_as_null(tmp_path):
+    spec = make_spec()
+    point = spec.expand()[0]
+    path = tmp_path / "j.jsonl"
+    with CampaignJournal(path) as journal:
+        journal.open(spec)
+        journal.record(point, None)
+    state = load_journal(path)
+    assert state.completed[point.point_id] is None
+    assert state.stats_for(point) is None
+
+
+def test_truncated_final_line_is_tolerated(tmp_path):
+    spec = make_spec()
+    points = spec.expand()
+    path = write_journal(tmp_path / "j.jsonl", spec, points[:4])
+    # Simulate a crash mid-append: cut the last record in half.
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) - 17])
+
+    state = load_journal(path)
+    assert set(state.completed) == {p.point_id for p in points[:3]}
+
+
+def test_resume_trims_torn_tail_before_appending(tmp_path):
+    spec = make_spec()
+    points = spec.expand()
+    path = write_journal(tmp_path / "j.jsonl", spec, points[:2])
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) - 9])        # torn final record
+
+    with CampaignJournal(path) as journal:
+        journal.open(spec, resume=True)
+        journal.record(
+            points[2], AccuracyStats(method=points[2].cell.method,
+                                     errors=(0.3,))
+        )
+
+    # Every surviving line parses; the torn record is gone, not merged.
+    lines = path.read_text().splitlines()
+    events = [json.loads(line) for line in lines]
+    ids = [e["id"] for e in events if e["type"] == "point"]
+    assert ids == [points[0].point_id, points[2].point_id]
+
+
+def test_corrupt_mid_file_line_raises(tmp_path):
+    spec = make_spec()
+    points = spec.expand()
+    path = write_journal(tmp_path / "j.jsonl", spec, points[:3])
+    lines = path.read_text().splitlines()
+    lines[2] = lines[2][:10]                       # corrupt a middle record
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(SweepError, match="corrupt journal line 3"):
+        load_journal(path)
+
+
+def test_missing_header_raises(tmp_path):
+    path = tmp_path / "j.jsonl"
+    path.write_text('{"v": 1, "type": "point", "id": "x", "errors": [0.1]}\n')
+    with pytest.raises(SweepError, match="campaign_start"):
+        load_journal(path)
+
+
+def test_version_mismatch_raises(tmp_path):
+    spec = make_spec()
+    path = write_journal(tmp_path / "j.jsonl", spec, [])
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["v"] = 99
+    path.write_text(json.dumps(header) + "\n")
+    with pytest.raises(SweepError, match="version"):
+        load_journal(path)
+
+
+def test_missing_and_empty_files_raise(tmp_path):
+    with pytest.raises(SweepError, match="no campaign journal"):
+        load_journal(tmp_path / "nope.jsonl")
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(SweepError, match="empty"):
+        load_journal(empty)
+
+
+def test_record_on_closed_journal_raises(tmp_path):
+    spec = make_spec()
+    journal = CampaignJournal(tmp_path / "j.jsonl")
+    with pytest.raises(SweepError, match="not open"):
+        journal.record(spec.expand()[0], None)

@@ -1,0 +1,65 @@
+"""Unit tests for markdown/CSV campaign reports."""
+
+import csv
+import io
+
+from repro.sweep import render_markdown, summarize, write_reports
+from repro.sweep.report import (
+    period_sensitivity_csv,
+    seed_convergence_csv,
+    summary_csv,
+)
+
+
+def test_markdown_report_structure(tiny_result):
+    text = render_markdown(tiny_result)
+    spec = tiny_result.spec
+    assert f"# Campaign report: {spec.name}" in text
+    assert spec.digest() in text
+    assert "| method | period | mean err | 95% CI | cells |" in text
+    assert "## Figure 1 — period sensitivity" in text
+    assert "## Figure 2 — seed convergence" in text
+    for method in spec.methods:
+        assert f"| {method} |" in text
+    # Figure bars are present and bounded.
+    assert "|#" in text
+
+
+def test_rendering_is_deterministic(tiny_result):
+    assert render_markdown(tiny_result) == render_markdown(tiny_result)
+    assert summary_csv(tiny_result) == summary_csv(tiny_result)
+
+
+def test_summary_csv_matches_aggregates(tiny_result):
+    rows = list(csv.DictReader(io.StringIO(summary_csv(tiny_result))))
+    summary = summarize(tiny_result)
+    assert len(rows) == len(summary)
+    for row, expected in zip(rows, summary):
+        assert row["method"] == expected.method
+        assert int(row["period"]) == expected.period
+        assert float(row["mean_err"]) == round(expected.ci.mean, 6)
+        assert float(row["ci_lo"]) <= float(row["mean_err"]) \
+            <= float(row["ci_hi"])
+
+
+def test_curve_csvs_have_expected_axes(tiny_result):
+    spec = tiny_result.spec
+    periods = list(csv.DictReader(
+        io.StringIO(period_sensitivity_csv(tiny_result))
+    ))
+    assert {int(r["period"]) for r in periods} == set(spec.periods)
+    seeds = list(csv.DictReader(
+        io.StringIO(seed_convergence_csv(tiny_result))
+    ))
+    assert {int(r["seeds"]) for r in seeds} == set(spec.seed_counts)
+    assert all(float(r["ci_half_width"]) >= 0 for r in seeds)
+
+
+def test_write_reports_creates_all_files(tiny_result, tmp_path):
+    paths = write_reports(tiny_result, tmp_path)
+    assert [p.name for p in paths] == [
+        "report.md", "summary.csv", "period_sensitivity.csv",
+        "seed_convergence.csv",
+    ]
+    for path in paths:
+        assert path.read_text().strip()
