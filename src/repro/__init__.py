@@ -20,10 +20,13 @@ Quickstart::
 from repro._version import __version__
 from repro.errors import (
     AnalysisError,
+    EvaluationAborted,
     ExecutionError,
     PMUConfigError,
     ProgramError,
     ReproError,
+    RequestError,
+    ServeError,
     SweepError,
     WorkloadError,
 )
@@ -81,9 +84,13 @@ from repro.core import (
 from repro.workloads import Workload, get_workload, list_workloads
 from repro import api
 from repro.api import (
+    API_SCHEMA_VERSION,
     CampaignResult,
     CampaignSpec,
+    EvaluateRequest,
+    EvaluateResult,
     evaluate_cell,
+    evaluate_request,
     load_campaign,
     load_table,
     run_campaign,
@@ -102,6 +109,9 @@ __all__ = [
     "WorkloadError",
     "AnalysisError",
     "SweepError",
+    "RequestError",
+    "ServeError",
+    "EvaluationAborted",
     # isa
     "Opcode",
     "LatencyClass",
@@ -153,12 +163,16 @@ __all__ = [
     "evaluate_method",
     # stable facade (repro.api)
     "api",
+    "API_SCHEMA_VERSION",
     "ArtifactCache",
     "CellSpec",
+    "EvaluateRequest",
+    "EvaluateResult",
     "ExperimentConfig",
     "Harness",
     "TableResult",
     "evaluate_cell",
+    "evaluate_request",
     "run_table1",
     "run_table2",
     "load_table",

@@ -29,11 +29,17 @@ bit-identical.
 from __future__ import annotations
 
 import json
+import math
 import os
+from dataclasses import dataclass, replace
 from pathlib import Path
+from typing import Callable
 
+from repro.errors import PMUConfigError, RequestError, WorkloadError
+from repro.cpu.uarch import get_uarch
 from repro.core.cache import ArtifactCache, resolve_cache
 from repro.core.experiment import CellSpec, ExperimentConfig, Harness
+from repro.core.methods import get_method
 from repro.core.stats import AccuracyStats
 from repro.core.tables import (
     TABLE_METHOD_KEYS,
@@ -43,33 +49,253 @@ from repro.core.tables import (
 )
 from repro.sweep import CampaignResult, CampaignSpec, load_campaign
 from repro.sweep import run_campaign_dir as _run_campaign_dir
-from repro.workloads.registry import APP_NAMES, KERNEL_NAMES
+from repro.workloads.registry import APP_NAMES, KERNEL_NAMES, get_workload
 
 __all__ = [
+    "API_SCHEMA_VERSION",
     "ArtifactCache",
     "CampaignResult",
     "CampaignSpec",
     "CellSpec",
+    "EvaluateRequest",
+    "EvaluateResult",
     "ExperimentConfig",
     "Harness",
     "TableResult",
     "evaluate_cell",
+    "evaluate_request",
     "load_campaign",
     "load_table",
     "run_campaign",
     "run_table1",
     "run_table2",
     "save_table",
+    "table_document",
+    "table_from_document",
 ]
 
 #: On-disk table document version (see :func:`save_table`).
 TABLE_DOCUMENT_VERSION = 1
+
+#: Version of the request/response JSON shapes below.  Bumped whenever a
+#: field is added, removed, or changes meaning; requests carrying a
+#: different version are rejected with :class:`RequestError` instead of
+#: being silently misread.
+API_SCHEMA_VERSION = 1
 
 CacheArg = "ArtifactCache | str | Path | bool | None"
 
 
 def _harness(config: ExperimentConfig | None, cache) -> Harness:
     return Harness(config or ExperimentConfig(), cache=resolve_cache(cache))
+
+
+# -- versioned request/response types -------------------------------------
+
+
+@dataclass(frozen=True)
+class EvaluateRequest:
+    """One cell-evaluation request: the single source of truth for request
+    validation and JSON shape.
+
+    The CLI (``repro-pmu run``), :func:`evaluate_cell`, and the serve
+    daemon's ``POST /v1/evaluate`` all build one of these and route it
+    through :func:`evaluate_request`, so every entry point validates the
+    same way and serializes to the same bytes.
+    """
+
+    machine: str
+    workload: str
+    method: str
+    period: int | None = None
+    scale: float = 1.0
+    repeats: int = 5
+    seed_base: int = 100
+    schema_version: int = API_SCHEMA_VERSION
+
+    #: JSON field names, in canonical order.
+    FIELDS = ("machine", "workload", "method", "period", "scale",
+              "repeats", "seed_base", "schema_version")
+
+    def validate(self) -> "EvaluateRequest":
+        """Raise :class:`RequestError` unless every field is usable."""
+        if self.schema_version != API_SCHEMA_VERSION:
+            raise RequestError(
+                f"unsupported schema_version {self.schema_version!r} "
+                f"(this build speaks {API_SCHEMA_VERSION})"
+            )
+        for name in ("machine", "workload", "method"):
+            if not isinstance(getattr(self, name), str):
+                raise RequestError(f"{name} must be a string")
+        try:
+            get_uarch(self.machine)
+            get_method(self.method)
+        except PMUConfigError as exc:
+            raise RequestError(str(exc)) from None
+        try:
+            get_workload(self.workload)
+        except WorkloadError as exc:
+            raise RequestError(str(exc)) from None
+        if self.period is not None and (
+            not isinstance(self.period, int) or isinstance(self.period, bool)
+            or self.period <= 0
+        ):
+            raise RequestError("period must be a positive integer or null")
+        if (not isinstance(self.scale, (int, float))
+                or isinstance(self.scale, bool)
+                or not math.isfinite(self.scale) or self.scale <= 0):
+            raise RequestError("scale must be a positive finite number")
+        if (not isinstance(self.repeats, int) or isinstance(self.repeats, bool)
+                or self.repeats < 1):
+            raise RequestError("repeats must be a positive integer")
+        if not isinstance(self.seed_base, int) or isinstance(self.seed_base,
+                                                             bool):
+            raise RequestError("seed_base must be an integer")
+        return self
+
+    def resolved(self) -> "EvaluateRequest":
+        """This request with ``period=None`` replaced by the workload's
+        default round base period (the value the harness would use)."""
+        if self.period is not None:
+            return self
+        return replace(self,
+                       period=get_workload(self.workload).default_period)
+
+    def spec(self) -> CellSpec:
+        """The cell this request addresses."""
+        return CellSpec(self.machine, self.workload, self.method, self.period)
+
+    def config(self) -> ExperimentConfig:
+        """The experiment configuration this request implies."""
+        return ExperimentConfig(scale=self.scale, repeats=self.repeats,
+                                seed_base=self.seed_base)
+
+    @classmethod
+    def from_spec(
+        cls, spec: CellSpec, config: ExperimentConfig | None = None
+    ) -> "EvaluateRequest":
+        """Build a request from the legacy (spec, config) pair."""
+        config = config or ExperimentConfig()
+        return cls(machine=spec.machine, workload=spec.workload,
+                   method=spec.method, period=spec.period,
+                   scale=config.scale, repeats=config.repeats,
+                   seed_base=config.seed_base)
+
+    def to_dict(self) -> dict[str, object]:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: object) -> "EvaluateRequest":
+        """Parse and validate a request document.
+
+        Unknown keys are rejected (they usually mean the client speaks a
+        newer schema); ``schema_version`` defaults to the current version
+        when omitted.
+        """
+        if not isinstance(data, dict):
+            raise RequestError("request body must be a JSON object")
+        unknown = set(data) - set(cls.FIELDS)
+        if unknown:
+            raise RequestError(
+                f"unknown request field(s): {', '.join(sorted(unknown))}"
+            )
+        missing = {"machine", "workload", "method"} - set(data)
+        if missing:
+            raise RequestError(
+                f"missing request field(s): {', '.join(sorted(missing))}"
+            )
+        kwargs = dict(data)
+        kwargs.setdefault("schema_version", API_SCHEMA_VERSION)
+        try:
+            request = cls(**kwargs)
+        except TypeError as exc:
+            raise RequestError(str(exc)) from None
+        return request.validate()
+
+
+@dataclass(frozen=True)
+class EvaluateResult:
+    """The outcome of one :class:`EvaluateRequest`.
+
+    ``stats`` is ``None`` for the paper's blank cells (method not
+    implementable on the machine); the carried ``request`` always has its
+    period resolved, so the document fully identifies the experiment.
+    """
+
+    request: EvaluateRequest
+    stats: AccuracyStats | None
+    schema_version: int = API_SCHEMA_VERSION
+
+    @property
+    def blank(self) -> bool:
+        return self.stats is None
+
+    def to_dict(self) -> dict[str, object]:
+        stats = None
+        if self.stats is not None:
+            stats = {
+                "method": self.stats.method,
+                "errors": list(self.stats.errors),
+                "mean_error": self.stats.mean_error,
+                "std_error": self.stats.std_error,
+                "repeats": self.stats.repeats,
+            }
+        return {
+            "schema_version": self.schema_version,
+            "request": self.request.to_dict(),
+            "blank": self.blank,
+            "stats": stats,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON encoding — sorted keys, compact separators,
+        trailing newline — so equal results are equal *bytes* (the serve
+        daemon's byte-identity guarantee rests on this)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":")) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: object) -> "EvaluateResult":
+        if not isinstance(data, dict):
+            raise RequestError("result document must be a JSON object")
+        if data.get("schema_version") != API_SCHEMA_VERSION:
+            raise RequestError(
+                f"unsupported result schema_version "
+                f"{data.get('schema_version')!r}"
+            )
+        request = EvaluateRequest.from_dict(data.get("request"))
+        stats_doc = data.get("stats")
+        stats = None
+        if stats_doc is not None:
+            stats = AccuracyStats(
+                method=stats_doc["method"],
+                errors=tuple(float(e) for e in stats_doc["errors"]),
+            )
+        return cls(request=request, stats=stats)
+
+
+def evaluate_request(
+    request: EvaluateRequest,
+    *,
+    cache: CacheArg = None,
+    harness: Harness | None = None,
+    abort: Callable[[], bool] | None = None,
+) -> EvaluateResult:
+    """Validate and execute one :class:`EvaluateRequest`.
+
+    The one evaluation path shared by the CLI, :func:`evaluate_cell`, and
+    the serve daemon: identical requests produce identical
+    :class:`EvaluateResult` values (and identical ``to_json()`` bytes)
+    whichever door they came through.  ``harness`` lets callers that
+    evaluate many same-config requests share trace/reference caches;
+    ``abort`` is polled between seeded repeats (see
+    :func:`repro.core.runner.evaluate_method`).
+    """
+    request = request.validate().resolved()
+    if harness is None:
+        harness = _harness(request.config(), cache)
+    stats = harness.evaluate_cell(request.spec(), abort=abort)
+    return EvaluateResult(request=request, stats=stats)
 
 
 def run_table1(
@@ -107,9 +333,11 @@ def evaluate_cell(
     """Score one (machine, workload, method[, period]) cell.
 
     Returns ``None`` for the paper's blank cells (method not implementable
-    on the machine).
+    on the machine).  Routes through :func:`evaluate_request`, so a cell
+    evaluated here is byte-for-byte the cell the serve daemon returns.
     """
-    return _harness(config, cache).evaluate_cell(spec)
+    request = EvaluateRequest.from_spec(spec, config)
+    return evaluate_request(request, cache=cache).stats
 
 
 def run_campaign(
@@ -134,15 +362,14 @@ def run_campaign(
     )
 
 
-def save_table(table: TableResult, path: str | Path) -> Path:
-    """Persist a :class:`TableResult` as a versioned JSON document.
+def table_document(table: TableResult) -> dict[str, object]:
+    """The versioned JSON document form of a :class:`TableResult`.
 
-    Unlike :func:`repro.core.export.table_to_json` (flat mean/std records
-    for downstream analysis), this keeps the raw per-seed errors so
-    :func:`load_table` round-trips the table exactly.  Written atomically.
+    One shape, three consumers: :func:`save_table` writes it to disk,
+    :func:`load_table` reads it back, and the serve daemon's
+    ``POST /v1/table`` returns it over HTTP.
     """
-    path = Path(path)
-    document = {
+    return {
         "format": TABLE_DOCUMENT_VERSION,
         "title": table.title,
         "row_labels": [list(label) for label in table.row_labels],
@@ -158,15 +385,10 @@ def save_table(table: TableResult, path: str | Path) -> Path:
             for spec, stats in table.cells.items()
         ],
     }
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
-    os.replace(tmp, path)
-    return path
 
 
-def load_table(path: str | Path) -> TableResult:
-    """Reconstruct a :class:`TableResult` saved by :func:`save_table`."""
-    document = json.loads(Path(path).read_text(encoding="utf-8"))
+def table_from_document(document: dict[str, object]) -> TableResult:
+    """Reconstruct a :class:`TableResult` from :func:`table_document`."""
     if document.get("format") != TABLE_DOCUMENT_VERSION:
         raise ValueError(
             f"unsupported table document format {document.get('format')!r}"
@@ -186,3 +408,24 @@ def load_table(path: str | Path) -> TableResult:
                                errors=tuple(float(e) for e in errors))
         )
     return table
+
+
+def save_table(table: TableResult, path: str | Path) -> Path:
+    """Persist a :class:`TableResult` as a versioned JSON document.
+
+    Unlike :func:`repro.core.export.table_to_json` (flat mean/std records
+    for downstream analysis), this keeps the raw per-seed errors so
+    :func:`load_table` round-trips the table exactly.  Written atomically.
+    """
+    path = Path(path)
+    document = table_document(table)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def load_table(path: str | Path) -> TableResult:
+    """Reconstruct a :class:`TableResult` saved by :func:`save_table`."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    return table_from_document(document)

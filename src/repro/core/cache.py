@@ -12,9 +12,11 @@ format bump silently invalidates stale entries.
 
 Design rules:
 
-* **Atomic writes** — temp file + ``os.replace``, the same pattern as
-  :mod:`repro.obs.manifest`, so a crashed run can never leave a truncated
-  entry that looks valid.
+* **Atomic writes** — a *uniquely named* temp file + ``os.replace``, so a
+  crashed run can never leave a truncated entry that looks valid and
+  concurrent writers (the serve daemon's worker pool, parallel table
+  builds) can race on the same digest without ever observing each other's
+  partial bytes — the last rename wins with complete content either way.
 * **Corruption tolerance** — any unreadable, unparsable, or
   wrong-shaped entry is treated as a miss (and counted as
   ``cache.corrupt``), never an error.
@@ -29,11 +31,13 @@ the ``root`` constructor argument.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import io
 import json
 import os
 import shutil
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -123,9 +127,22 @@ class ArtifactCache:
 
     def _write_atomic(self, path: Path, data: bytes) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_bytes(data)
-        os.replace(tmp, path)
+        # The temp name must be unique per writer: a fixed ".tmp" suffix
+        # lets two threads/processes storing the same digest interleave
+        # write and rename, publishing a torn entry.  mkstemp gives each
+        # writer a private file in the target directory (same filesystem,
+        # so the final os.replace stays atomic).
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
         count("cache.writes")
 
     def _hit(self) -> None:

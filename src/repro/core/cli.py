@@ -11,6 +11,7 @@ Examples::
     repro-pmu sweep run spec.json --out campaigns/periods --jobs 4
     repro-pmu sweep status campaigns/periods --json
     repro-pmu cache stats --json
+    repro-pmu serve --port 8787 --workers 2 --cache
 
 Every subcommand accepts ``--verbose``/``--quiet`` (diagnostics and live
 per-cell progress go to stderr through ``logging``) and ``--trace
@@ -28,8 +29,8 @@ import time
 from pathlib import Path
 
 from repro._version import __version__
-from repro.errors import SweepError
-from repro.cpu.uarch import ALL_UARCHES, get_uarch
+from repro.errors import RequestError, SweepError
+from repro.cpu.uarch import ALL_UARCHES
 from repro.obs.log import get_logger
 from repro.obs import (
     Collector,
@@ -45,7 +46,7 @@ from repro.obs.log import Emitter
 from repro.core.cache import ArtifactCache
 from repro.core.compare import evaluate_all_claims
 from repro.core.experiment import ExperimentConfig, Harness
-from repro.core.methods import METHODS, method_available
+from repro.core.methods import METHODS
 from repro.core.tables import build_table1, build_table2, render_table3
 from repro.workloads.registry import list_workloads
 
@@ -283,18 +284,73 @@ def _cmd_claims(args: argparse.Namespace, out: Emitter) -> int:
 
 
 def _cmd_run(args: argparse.Namespace, out: Emitter) -> int:
-    harness = _make_harness(args)
-    uarch = get_uarch(args.machine)
-    if not method_available(args.method, uarch):
+    from repro.api import EvaluateRequest, evaluate_request
+
+    # One validation and evaluation path shared with repro.api and the
+    # serve daemon: the --json output is byte-identical to a served
+    # POST /v1/evaluate response for the same request.
+    request = EvaluateRequest(
+        machine=args.machine, workload=args.workload, method=args.method,
+        period=args.period, scale=args.scale, repeats=args.repeats,
+        seed_base=args.seed,
+    )
+    result = evaluate_request(request, cache=_resolve_cache(args))
+    if result.blank:
         out.error("method %r is not available on %s",
                   args.method, args.machine)
         return 2
-    stats = harness.cell(args.machine, args.workload, args.method,
-                         base_period=args.period)
-    assert stats is not None
+    if args.json:
+        out.result(result.to_json(), end="")
+        return 0
+    stats = result.stats
     out.result(f"{args.machine}/{args.workload}/{args.method}: {stats} "
                f"(over {stats.repeats} runs)")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace, out: Emitter) -> int:
+    import signal
+    import threading
+
+    from repro.serve import ProfilingServer, ServerConfig
+
+    server = ProfilingServer(ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        default_deadline_s=args.deadline,
+        table_jobs=args.jobs,
+        drain_timeout_s=args.drain_timeout,
+        cache=_resolve_cache(args),
+    ))
+    stop = threading.Event()
+
+    def _on_signal(signum, _frame):
+        out.info("received %s, draining", signal.Signals(signum).name)
+        stop.set()
+
+    previous = {
+        signum: signal.signal(signum, _on_signal)
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
+    server.start()
+    host, port = server.address
+    out.result(f"serving on http://{host}:{port}")
+    sys.stdout.flush()
+    try:
+        # Event.wait with a timeout keeps the main thread responsive to
+        # signals on every platform.
+        while not stop.wait(timeout=0.2):
+            pass
+        drained = server.drain()
+        server.stop()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    out.result("drained cleanly" if drained
+               else "drain timed out with jobs still pending")
+    return 0 if drained else 1
 
 
 def _cmd_recommend(args: argparse.Namespace, out: Emitter) -> int:
@@ -445,7 +501,45 @@ def main(argv: list[str] | None = None) -> int:
     pr.add_argument("--method", required=True)
     pr.add_argument("--period", type=int, default=None,
                     help="round base period (default: workload's)")
+    pr.add_argument("--json", action="store_true",
+                    help="emit the canonical EvaluateResult document "
+                         "(byte-identical to a served POST /v1/evaluate)")
     pr.set_defaults(func=_cmd_run)
+
+    psv = sub.add_parser(
+        "serve",
+        help="run the profiling-as-a-service HTTP daemon (repro.serve)",
+    )
+    psv.add_argument("--host", default="127.0.0.1",
+                     help="listen address (default 127.0.0.1)")
+    psv.add_argument("--port", type=int, default=8787,
+                     help="listen port (default 8787; 0 picks an ephemeral "
+                          "port, printed on startup)")
+    psv.add_argument("--workers", type=int, default=2, metavar="N",
+                     help="evaluation worker threads (default 2)")
+    psv.add_argument("--queue-size", type=int, default=16, metavar="N",
+                     help="max queued jobs before 429 backpressure "
+                          "(default 16)")
+    psv.add_argument("--deadline", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="default per-request deadline for waited requests "
+                          "(default 30)")
+    psv.add_argument("--drain-timeout", type=float, default=60.0,
+                     metavar="SECONDS",
+                     help="max seconds to finish in-flight jobs on "
+                          "SIGTERM/SIGINT (default 60)")
+    _add_jobs_arg(psv)
+    psv.add_argument(
+        "--cache", action="store_true",
+        help="share the persistent artifact cache across requests "
+             "(~/.cache/repro or $REPRO_CACHE_DIR)",
+    )
+    psv.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="artifact cache location (implies --cache)",
+    )
+    _add_obs_args(psv)
+    psv.set_defaults(func=_cmd_serve)
 
     pa = sub.add_parser(
         "recommend",
@@ -492,7 +586,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         try:
             return args.func(args, out)
-        except (SweepError, FileNotFoundError) as exc:
+        except (RequestError, SweepError, FileNotFoundError) as exc:
             out.error("error: %s", exc)
             return 2
     finally:

@@ -13,6 +13,7 @@ counts, and per-cell stats persist across processes and runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Callable
 
 import numpy as np
 
@@ -204,12 +205,19 @@ class Harness:
 
     # -- cells -------------------------------------------------------------
 
-    def evaluate_cell(self, spec: CellSpec) -> AccuracyStats | None:
+    def evaluate_cell(
+        self,
+        spec: CellSpec,
+        abort: Callable[[], bool] | None = None,
+    ) -> AccuracyStats | None:
         """Accuracy stats for one cell; ``None`` when the method is not
         implementable on the machine (the paper's blank cells).
 
         Lookup order: in-process cell cache, persistent cache (if any),
         then a full evaluation (counted as ``harness.cells_evaluated``).
+        ``abort`` (an optional zero-arg callable) is polled between seeded
+        repeats; see :func:`repro.core.runner.evaluate_method`.  An aborted
+        cell writes nothing to either cache.
         """
         spec = spec.resolved(spec.period or self.period_for(spec.workload))
         if spec in self._cells:
@@ -231,6 +239,7 @@ class Harness:
                 spec.period,
                 seeds=self.config.seeds,
                 reference=self.reference(spec.workload),
+                abort=abort,
             )
         count("harness.cells_evaluated")
         self._cells[spec] = stats

@@ -28,6 +28,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Iterable, Sequence
 
+from repro.errors import EvaluationAborted
 from repro.obs import Collector, count, enabled, get_collector, install, span
 from repro.core.cache import ArtifactCache
 from repro.core.experiment import CellSpec, ExperimentConfig, Harness
@@ -109,6 +110,7 @@ def evaluate_cells(
     cache: ArtifactCache | None = None,
     harness: Harness | None = None,
     on_result: ProgressFn | None = None,
+    abort: Callable[[], bool] | None = None,
 ) -> dict[CellSpec, AccuracyStats | None]:
     """Evaluate many cells, serially or across ``jobs`` worker processes.
 
@@ -117,6 +119,10 @@ def evaluate_cells(
     are dispatched one workload group per task; ``parallel.cells_dispatched``
     counts the dispatched cells, and each worker's counters are merged back
     into the installed collector.
+
+    ``abort`` is polled between cells (serial) or between repeats inside a
+    cell and between group completions (parallel); a truthy return raises
+    :class:`EvaluationAborted` after cancelling any not-yet-started groups.
     """
     total = len(specs)
     results: dict[CellSpec, AccuracyStats | None] = {}
@@ -126,7 +132,7 @@ def evaluate_cells(
         harness = harness or Harness(config, cache=cache)
         for spec in specs:
             started = time.perf_counter()
-            stats = harness.evaluate_cell(spec)
+            stats = harness.evaluate_cell(spec, abort=abort)
             results[spec] = stats
             done += 1
             if on_result is not None:
@@ -147,6 +153,13 @@ def evaluate_cells(
                 for _, group in groups
             ]
             for future in as_completed(futures):
+                if abort is not None and abort():
+                    for pending in futures:
+                        pending.cancel()
+                    raise EvaluationAborted(
+                        f"parallel evaluation aborted after {done} of "
+                        f"{total} cells"
+                    )
                 cell_results, counters, spans = future.result()
                 for name, value in counters.items():
                     count(name, value)

@@ -9,10 +9,11 @@ counting mode), and score against the instrumentation reference.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable
+from typing import Callable, Iterable
 
 import numpy as np
 
+from repro.errors import EvaluationAborted
 from repro.cpu.machine import Execution
 from repro.instrumentation.reference import ReferenceCounts, collect_reference
 from repro.obs import count, span
@@ -97,12 +98,18 @@ def evaluate_method(
     seeds: Iterable[int] = range(5),
     normalize: bool = True,
     reference: ReferenceCounts | None = None,
+    abort: Callable[[], bool] | None = None,
 ) -> AccuracyStats:
     """Score one method over repeated runs (the paper's five repeats).
 
     The method is resolved and the reference counts are built once, shared
     across every seeded repeat; ``runner.resolve_reused`` counts the
     re-resolutions saved.
+
+    ``abort`` is polled between seeded repeats (the finest cancellation
+    granularity that cannot perturb results — each repeat is seeded
+    independently); a truthy return raises :class:`EvaluationAborted`, so
+    long-running service jobs stop burning CPU once their deadline passes.
     """
     if reference is None:
         with span("reference", workload=execution.program.name):
@@ -110,6 +117,11 @@ def evaluate_method(
     resolved = resolve_method(method_key, execution.uarch, base_period)
     errors: list[float] = []
     for seed in seeds:
+        if abort is not None and abort():
+            raise EvaluationAborted(
+                f"evaluation of {method_key!r} aborted after "
+                f"{len(errors)} of the requested repeats"
+            )
         profile, _ = run_method(
             execution, method_key, base_period,
             rng=np.random.default_rng(seed), normalize=normalize,

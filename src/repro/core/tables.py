@@ -13,7 +13,9 @@ LBR on Magny-Cours) render as ``--``.
 from __future__ import annotations
 
 import logging
+import warnings
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.obs import span
 from repro.obs.log import get_logger
@@ -54,13 +56,23 @@ class TableResult:
 
         Cells are keyed by :class:`CellSpec`; this scans for the first spec
         matching (machine, workload, method), which is unique in tables
-        built by this module (one period per workload).  Legacy 3-tuple
-        keys are accepted too, so hand-built tables keep working.
+        built by this module (one period per workload).  Legacy 3-/4-tuple
+        keys are still accepted but deprecated (see DESIGN.md §3): they
+        emit a :class:`DeprecationWarning` pointing at :class:`CellSpec`
+        and will stop matching in a future release.
         """
         wanted = (machine, workload, method)
         for key, stats in self.cells.items():
-            ident = ((key.machine, key.workload, key.method)
-                     if isinstance(key, CellSpec) else tuple(key)[:3])
+            if isinstance(key, CellSpec):
+                ident = (key.machine, key.workload, key.method)
+            else:
+                warnings.warn(
+                    "TableResult.cells keyed by plain tuples is deprecated; "
+                    "key cells by repro.core.experiment.CellSpec instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                ident = tuple(key)[:3]
             if ident == wanted:
                 return stats
         return None
@@ -130,6 +142,7 @@ def _build_table(
     workloads: tuple[str, ...],
     methods: tuple[str, ...],
     jobs: int = 1,
+    abort: Callable[[], bool] | None = None,
 ) -> TableResult:
     machines = harness.config.machines
     result = TableResult(
@@ -152,7 +165,7 @@ def _build_table(
     with span("table", title=title, cells=len(specs), jobs=jobs):
         evaluated = evaluate_cells(
             harness.config, specs, jobs=jobs, cache=harness.cache,
-            harness=harness, on_result=on_result,
+            harness=harness, on_result=on_result, abort=abort,
         )
     # Fill in plan order so serial and parallel builds are bit-identical,
     # whatever order workers completed in.
@@ -166,6 +179,7 @@ def build_table1(
     methods: tuple[str, ...] = TABLE_METHOD_KEYS,
     workloads: tuple[str, ...] = KERNEL_NAMES,
     jobs: int = 1,
+    abort: Callable[[], bool] | None = None,
 ) -> TableResult:
     """Table 1: sampling-method errors on the kernels (lower is better)."""
     return _build_table(
@@ -174,6 +188,7 @@ def build_table1(
         workloads,
         methods,
         jobs=jobs,
+        abort=abort,
     )
 
 
@@ -182,6 +197,7 @@ def build_table2(
     methods: tuple[str, ...] = TABLE_METHOD_KEYS,
     workloads: tuple[str, ...] = APP_NAMES,
     jobs: int = 1,
+    abort: Callable[[], bool] | None = None,
 ) -> TableResult:
     """Table 2: errors per machine/application (lower is better)."""
     return _build_table(
@@ -190,6 +206,7 @@ def build_table2(
         workloads,
         methods,
         jobs=jobs,
+        abort=abort,
     )
 
 

@@ -33,3 +33,15 @@ class AnalysisError(ReproError):
 
 class SweepError(ReproError):
     """A campaign spec, journal, or resume request is invalid."""
+
+
+class RequestError(ReproError):
+    """A versioned API request (repro.api / repro.serve) fails validation."""
+
+
+class ServeError(ReproError):
+    """The profiling service cannot satisfy a request (draining, bad route)."""
+
+
+class EvaluationAborted(ReproError):
+    """An evaluation was cooperatively cancelled (deadline expiry, drain)."""

@@ -38,7 +38,7 @@ from repro.obs.tracer import (
     span,
     uninstall,
 )
-from repro.obs.export import JsonlWriter, render_span_tree
+from repro.obs.export import JsonlWriter, render_prometheus, render_span_tree
 from repro.obs.schema import (
     EVENT_TYPES,
     validate_event,
@@ -72,6 +72,7 @@ __all__ = [
     "uninstall",
     # exporters
     "JsonlWriter",
+    "render_prometheus",
     "render_span_tree",
     # schema
     "EVENT_TYPES",

@@ -11,11 +11,13 @@ human wants to read.
 from __future__ import annotations
 
 import json
+import re
 import sys
 import threading
 import time
 from typing import Any, TextIO
 
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import SCHEMA_VERSION, Collector
 
 
@@ -58,6 +60,34 @@ class JsonlWriter:
             self._fh.flush()
             if self._owns:
                 self._fh.close()
+
+
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prometheus_name(prefix: str, name: str) -> str:
+    return _METRIC_NAME_RE.sub("_", f"{prefix}_{name}" if prefix else name)
+
+
+def render_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """Render a metrics registry in the Prometheus text exposition format.
+
+    Dotted counter names become ``<prefix>_<name>`` with non-alphanumeric
+    characters collapsed to underscores (``cache.hits`` →
+    ``repro_cache_hits``); counters carry a ``_total`` suffix per the
+    Prometheus naming convention, gauges are exposed as-is.  This is what
+    the serve daemon's ``GET /metrics`` endpoint returns.
+    """
+    lines: list[str] = []
+    for name, value in registry.counters().items():
+        metric = _prometheus_name(prefix, name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in registry.gauges().items():
+        metric = _prometheus_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 def render_span_tree(collector: Collector, max_paths: int = 200) -> str:

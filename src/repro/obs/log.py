@@ -54,9 +54,9 @@ class Emitter:
     def __init__(self, logger: logging.Logger | None = None) -> None:
         self.logger = logger or get_logger()
 
-    def result(self, text: str = "") -> None:
+    def result(self, text: str = "", end: str = "\n") -> None:
         """Primary command output — always printed."""
-        print(text)
+        print(text, end=end)
 
     def info(self, msg: str, *args: object) -> None:
         self.logger.info(msg, *args)

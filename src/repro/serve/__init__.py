@@ -1,0 +1,41 @@
+"""repro.serve — the evaluation pipeline as a long-running service.
+
+The ROADMAP's north star is a system that serves profiling traffic, not a
+batch tool relaunched per table.  This package exposes the existing
+pipeline behind a small, versioned HTTP API (stdlib only — no framework):
+
+* ``POST /v1/evaluate`` — one :class:`~repro.api.EvaluateRequest` in, one
+  :class:`~repro.api.EvaluateResult` out, byte-identical to
+  :func:`repro.api.evaluate_cell` on the same request,
+* ``POST /v1/table`` — Table 1/2 configurations, returning the same
+  versioned document :func:`repro.api.save_table` writes,
+* ``GET /v1/jobs/<id>`` — poll an asynchronous job,
+* ``GET /healthz`` and ``GET /metrics`` — liveness and the
+  :mod:`repro.obs` counters in Prometheus text format.
+
+Internally: a bounded job queue with backpressure (full → HTTP 429 +
+``Retry-After``), a worker-thread pool sharing one persistent
+:class:`~repro.core.cache.ArtifactCache` (hot cells are served from cache
+with zero re-simulation), per-request deadlines with cooperative abort,
+request IDs threaded into tracing spans, and SIGTERM graceful drain (stop
+accepting, finish in-flight jobs, flush metrics).  Start it with
+``repro-pmu serve`` or programmatically via :class:`ProfilingServer`.
+"""
+
+from repro.serve.jobs import Job, JobQueue, JobState, QueueFull
+from repro.serve.protocol import TableRequest, Transport, split_transport
+from repro.serve.server import ProfilingServer, ServerConfig
+from repro.serve.workers import WorkerPool
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobState",
+    "ProfilingServer",
+    "QueueFull",
+    "ServerConfig",
+    "TableRequest",
+    "Transport",
+    "WorkerPool",
+    "split_transport",
+]

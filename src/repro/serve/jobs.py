@@ -1,0 +1,240 @@
+"""Bounded job queue and job lifecycle for the serve daemon.
+
+A job is one accepted request (evaluate or table) moving through
+``queued → running → done | failed | expired``.  The queue is bounded so
+the daemon sheds load instead of accumulating unbounded backlog: a full
+queue raises :class:`QueueFull`, which the HTTP layer maps to
+``429 Too Many Requests`` + ``Retry-After``.  Finished jobs stay pollable
+(``GET /v1/jobs/<id>``) until evicted by the retention cap.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.errors import ServeError
+from repro.obs import count, gauge
+
+
+class QueueFull(ServeError):
+    """The bounded job queue is at capacity; retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: int = 1) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class JobState(str, Enum):
+    """Lifecycle of one accepted request."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    EXPIRED = "expired"
+
+    @property
+    def finished(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.EXPIRED)
+
+
+@dataclass
+class Job:
+    """One unit of accepted work plus its outcome.
+
+    ``deadline`` is a ``time.monotonic`` instant (``None`` = run to
+    completion); workers poll :meth:`expired` between seeded repeats, so a
+    job whose client has already been answered 504 stops burning CPU at
+    the next repeat boundary.
+    """
+
+    id: str
+    kind: str                                # "evaluate" | "table"
+    payload: Any
+    deadline: float | None = None
+    state: JobState = JobState.QUEUED
+    created_ts: float = field(default_factory=time.time)
+    started_ts: float | None = None
+    finished_ts: float | None = None
+    result: Any = None
+    body: bytes | None = None                # canonical response bytes
+    error: str | None = None
+    done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def expired(self) -> bool:
+        """Whether the job's deadline has passed (cooperative abort hook)."""
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+    def remaining_s(self) -> float | None:
+        """Seconds until the deadline, or ``None`` without one."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+    def to_dict(self) -> dict[str, Any]:
+        """Status document for ``GET /v1/jobs/<id>``."""
+        document: dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state.value,
+            "created_ts": self.created_ts,
+        }
+        if self.started_ts is not None and self.finished_ts is not None:
+            document["wall_s"] = self.finished_ts - self.started_ts
+        if self.error is not None:
+            document["error"] = self.error
+        return document
+
+
+class JobQueue:
+    """Thread-safe bounded FIFO of jobs plus a registry of every job seen.
+
+    ``maxsize`` bounds *pending* jobs only — running and finished jobs do
+    not consume queue capacity.  ``retain`` caps how many finished jobs
+    stay pollable; older ones are evicted FIFO.  :meth:`close` stops
+    accepting submissions (drain) and wakes idle workers so they can exit
+    once the backlog is empty.
+    """
+
+    def __init__(self, maxsize: int = 16, retain: int = 256) -> None:
+        self.maxsize = maxsize
+        self.retain = retain
+        self._cond = threading.Condition()
+        self._pending: deque[Job] = deque()
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._seq = itertools.count(1)
+        self._inflight = 0
+        self._closed = False
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, kind: str, payload: Any,
+               deadline_s: float | None = None) -> Job:
+        """Enqueue one job; raises :class:`QueueFull` on backpressure and
+        :class:`ServeError` once the queue is closed (draining)."""
+        deadline = (None if deadline_s is None
+                    else time.monotonic() + deadline_s)
+        with self._cond:
+            if self._closed:
+                raise ServeError("server is draining; not accepting jobs")
+            if len(self._pending) >= self.maxsize:
+                count("serve.rejected_busy")
+                raise QueueFull(
+                    f"job queue full ({self.maxsize} pending)",
+                    retry_after_s=1,
+                )
+            job = Job(
+                id=f"job-{next(self._seq):06d}-{uuid.uuid4().hex[:8]}",
+                kind=kind,
+                payload=payload,
+                deadline=deadline,
+            )
+            self._pending.append(job)
+            self._jobs[job.id] = job
+            self._evict_locked()
+            count("serve.jobs_submitted")
+            gauge("serve.queue_depth", len(self._pending))
+            self._cond.notify()
+        return job
+
+    # -- worker side -------------------------------------------------------
+
+    def pop(self, timeout: float | None = None) -> Job | None:
+        """Next queued job, blocking up to ``timeout``.
+
+        Returns ``None`` on timeout, or immediately once the queue is
+        closed *and* empty (worker shutdown signal).  The popped job is
+        marked RUNNING and counted in-flight until :meth:`finish`.
+        """
+        with self._cond:
+            while not self._pending:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+            job = self._pending.popleft()
+            job.state = JobState.RUNNING
+            job.started_ts = time.time()
+            self._inflight += 1
+            gauge("serve.queue_depth", len(self._pending))
+            gauge("serve.jobs_inflight", self._inflight)
+        return job
+
+    def finish(self, job: Job, state: JobState, result: Any = None,
+               body: bytes | None = None, error: str | None = None) -> None:
+        """Record a popped job's outcome and wake its waiters."""
+        with self._cond:
+            if job.started_ts is None:       # finished straight from QUEUED
+                job.started_ts = time.time()
+            else:
+                self._inflight -= 1
+            job.state = state
+            job.result = result
+            job.body = body
+            job.error = error
+            job.finished_ts = time.time()
+            gauge("serve.jobs_inflight", self._inflight)
+            count(f"serve.jobs_{state.value}")
+            self._cond.notify_all()
+        job.done.set()
+
+    def expire_queued(self, job: Job) -> None:
+        """Drop one still-queued job that expired before a worker got to it."""
+        with self._cond:
+            try:
+                self._pending.remove(job)
+            except ValueError:
+                return                       # a worker already popped it
+            gauge("serve.queue_depth", len(self._pending))
+        self.finish(job, JobState.EXPIRED, error="deadline exceeded in queue")
+
+    # -- inspection --------------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- drain -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Refuse further submissions and wake every idle worker."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no job is pending or in flight (the drain barrier)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._pending or self._inflight:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(timeout=remaining)
+            return True
+
+    def _evict_locked(self) -> None:
+        finished = [job_id for job_id, job in self._jobs.items()
+                    if job.state.finished]
+        for job_id in finished[:max(0, len(finished) - self.retain)]:
+            del self._jobs[job_id]

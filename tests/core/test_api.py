@@ -106,3 +106,87 @@ def test_load_table_rejects_unknown_format(tmp_path):
     path.write_text('{"format": 999, "title": "x", "cells": []}')
     with pytest.raises(ValueError, match="format"):
         api.load_table(path)
+
+
+# -- versioned request API ---------------------------------------------------
+
+
+def test_evaluate_request_round_trip_and_resolution():
+    request = api.EvaluateRequest(machine="ivybridge", workload="mcf",
+                                  method="classic", scale=0.01, repeats=1)
+    document = request.to_dict()
+    assert document["schema_version"] == api.API_SCHEMA_VERSION
+    assert document["period"] is None
+    assert api.EvaluateRequest.from_dict(document) == request
+
+    resolved = request.resolved()
+    assert resolved.period == 500                 # mcf's default period
+    assert resolved.spec() == api.CellSpec("ivybridge", "mcf", "classic", 500)
+    assert resolved.config() == api.ExperimentConfig(scale=0.01, repeats=1)
+
+
+def test_evaluate_request_rejections():
+    from repro.errors import RequestError
+
+    good = {"machine": "ivybridge", "workload": "mcf", "method": "classic"}
+    cases = [
+        {},                                            # missing everything
+        dict(good, extra=1),                           # unknown field
+        dict(good, machine="z80"),                     # unknown machine
+        dict(good, workload="nope"),                   # unknown workload
+        dict(good, method="nope"),                     # unknown method
+        dict(good, repeats=0),                         # bad repeats
+        dict(good, repeats=True),                      # bool is not an int
+        dict(good, scale=-1.0),                        # bad scale
+        dict(good, period=0),                          # bad period
+        dict(good, schema_version=api.API_SCHEMA_VERSION + 1),
+    ]
+    for document in cases:
+        with pytest.raises(RequestError):
+            api.EvaluateRequest.from_dict(document)
+    with pytest.raises(RequestError, match="JSON object"):
+        api.EvaluateRequest.from_dict("not a dict")
+
+
+def test_evaluate_request_and_cell_agree():
+    spec = api.CellSpec("ivybridge", "latency_biased", "precise")
+    request = api.EvaluateRequest.from_spec(spec, CONFIG)
+    result = api.evaluate_request(request)
+    assert not result.blank
+    assert result.stats == api.evaluate_cell(spec, CONFIG)
+
+
+def test_evaluate_result_document_round_trip():
+    request = api.EvaluateRequest(machine="ivybridge",
+                                  workload="latency_biased",
+                                  method="precise", scale=0.01, repeats=1)
+    result = api.evaluate_request(request)
+    document = result.to_dict()
+    assert document["schema_version"] == api.API_SCHEMA_VERSION
+    assert document["blank"] is False
+    assert document["stats"]["repeats"] == 1
+    loaded = api.EvaluateResult.from_dict(document)
+    assert loaded.stats == result.stats
+    assert loaded.to_json() == result.to_json()
+    # Canonical form: sorted keys, compact separators, one trailing newline.
+    assert result.to_json().endswith("\n")
+    assert '": ' not in result.to_json()
+
+
+def test_evaluate_result_blank_for_unavailable_method():
+    request = api.EvaluateRequest(machine="magnycours", workload="mcf",
+                                  method="lbr", scale=0.01, repeats=1)
+    result = api.evaluate_request(request)
+    assert result.blank
+    assert result.stats is None
+    assert result.to_dict()["stats"] is None
+    loaded = api.EvaluateResult.from_dict(result.to_dict())
+    assert loaded.blank and loaded.stats is None
+
+
+def test_request_api_exported_from_top_level():
+    for name in ("API_SCHEMA_VERSION", "EvaluateRequest", "EvaluateResult",
+                 "evaluate_request", "RequestError", "ServeError",
+                 "EvaluationAborted"):
+        assert name in repro.__all__
+        assert hasattr(repro, name)

@@ -132,6 +132,51 @@ def test_harness_trace_and_reference_round_trip(tmp_path):
     assert "interpret.blocks" not in counters   # interpreter never ran
 
 
+def test_concurrent_writers_leave_no_partial_entries(tmp_path):
+    """Racing writers to the same digests must never corrupt an entry.
+
+    Each write lands in a uniquely-named temp file and is published with an
+    atomic rename, so readers either miss or see a complete entry — never
+    a torn one — and no orphan temp files survive.
+    """
+    import threading
+
+    cache = ArtifactCache(tmp_path / "store")
+    digests = [cache_digest(kind="stats", cell=i) for i in range(8)]
+    stats_by_digest = {
+        digest: summarize_errors("classic", [0.1 * (i + 1)])
+        for i, digest in enumerate(digests)
+    }
+    array_digest = cache_digest(kind="trace", shared=True)
+    payload = np.arange(5000, dtype=np.int64)
+    failures: list[str] = []
+
+    def hammer(worker: int) -> None:
+        for round_ in range(20):
+            digest = digests[(worker + round_) % len(digests)]
+            cache.put_stats(digest, stats_by_digest[digest])
+            loaded = cache.get_stats(digest)
+            if loaded is not None and loaded != stats_by_digest[digest]:
+                failures.append(f"torn stats for {digest[:8]}")
+            cache.put_arrays("trace", array_digest, block_seq=payload)
+            arrays = cache.get_arrays("trace", array_digest, ("block_seq",))
+            if arrays is not None and not np.array_equal(
+                    arrays["block_seq"], payload):
+                failures.append("torn array entry")
+
+    threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not failures
+    for digest in digests:
+        assert cache.get_stats(digest) == stats_by_digest[digest]
+    leftovers = list((tmp_path / "store").rglob("*.tmp"))
+    assert leftovers == []
+
+
 def test_harness_cell_warm_cache_skips_evaluation(tmp_path):
     config = ExperimentConfig(scale=0.01, repeats=1)
     spec = CellSpec("ivybridge", "latency_biased", "precise")

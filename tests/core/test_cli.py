@@ -41,6 +41,32 @@ def test_run_unavailable_method(capsys):
     assert "not available" in capsys.readouterr().err
 
 
+def test_run_json_emits_canonical_result_document(capsys):
+    import json
+
+    code = main([
+        "run", "--machine", "ivybridge", "--workload", "latency_biased",
+        "--method", "precise", "--scale", "0.01", "--repeats", "1", "--json",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    document = json.loads(out)
+    assert document["schema_version"] == 1
+    assert document["request"]["machine"] == "ivybridge"
+    assert document["stats"]["repeats"] == 1
+    # Canonical bytes: compact separators, single trailing newline.
+    assert out.endswith("\n") and not out.endswith("\n\n")
+
+
+def test_run_rejects_unknown_machine(capsys):
+    code = main([
+        "run", "--machine", "z80", "--workload", "latency_biased",
+        "--method", "precise", "--scale", "0.01",
+    ])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
 def test_table1_small(capsys):
     assert main(["table1", "--scale", "0.01", "--repeats", "1"]) == 0
     out = capsys.readouterr().out

@@ -3,7 +3,15 @@
 import io
 import json
 
-from repro.obs import JsonlWriter, collecting, count, render_span_tree, span
+from repro.obs import (
+    JsonlWriter,
+    collecting,
+    count,
+    gauge,
+    render_prometheus,
+    render_span_tree,
+    span,
+)
 
 
 def test_jsonl_writer_accepts_open_files_and_paths(tmp_path):
@@ -57,3 +65,28 @@ def test_render_span_tree_empty_collector():
         pass
     tree = render_span_tree(col)
     assert "span tree" in tree  # renders without crashing
+
+
+def test_render_prometheus_exposition_format():
+    with collecting() as col:
+        count("cache.hits", 3)
+        count("serve.jobs_submitted")
+        gauge("serve.queue_depth", 2)
+    text = render_prometheus(col.metrics)
+    lines = text.splitlines()
+    # Dotted names collapse to underscores; counters carry _total.
+    assert "# TYPE repro_cache_hits_total counter" in lines
+    assert "repro_cache_hits_total 3" in lines
+    assert "repro_serve_jobs_submitted_total 1" in lines
+    assert "# TYPE repro_serve_queue_depth gauge" in lines
+    assert "repro_serve_queue_depth 2" in lines
+    assert text.endswith("\n")
+
+
+def test_render_prometheus_empty_registry_and_custom_prefix():
+    with collecting() as col:
+        pass
+    assert render_prometheus(col.metrics) == ""
+    with collecting() as col:
+        count("x.y", 1)
+    assert "pmu_x_y_total 1" in render_prometheus(col.metrics, prefix="pmu")

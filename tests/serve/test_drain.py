@@ -1,0 +1,92 @@
+"""Graceful-drain behavior: in-process and through the CLI under SIGTERM."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.serve import JobState, ProfilingServer, ServerConfig
+
+SLOW_CELL = {"machine": "ivybridge", "workload": "mcf", "method": "classic",
+             "scale": 0.05, "repeats": 2, "wait": False}
+
+
+def post(url: str, document: dict) -> dict:
+    request = urllib.request.Request(
+        url, data=json.dumps(document).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def test_drain_completes_in_flight_jobs():
+    server = ProfilingServer(ServerConfig(port=0, workers=1, queue_size=4))
+    server.start()
+    try:
+        ticket = post(server.url + "/v1/evaluate", SLOW_CELL)
+        # Let a worker pop the job so it is genuinely in flight.
+        deadline = time.monotonic() + 5.0
+        while (server.queue.pending() and not server.queue.inflight()
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+
+        assert server.drain(timeout=60.0)
+        job = server.queue.get(ticket["job_id"])
+        assert job.state is JobState.DONE        # finished, not abandoned
+        assert job.body is not None
+
+        # A draining server sheds new work instead of queueing it.
+        request = urllib.request.Request(
+            server.url + "/v1/evaluate",
+            data=json.dumps(SLOW_CELL).encode("utf-8"),
+        )
+        try:
+            urllib.request.urlopen(request)
+            raise AssertionError("expected 503 while draining")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 503
+    finally:
+        server.stop()
+
+
+def test_drain_on_idle_server_is_immediate():
+    server = ProfilingServer(ServerConfig(port=0, workers=1))
+    server.start()
+    try:
+        started = time.monotonic()
+        assert server.drain(timeout=10.0)
+        assert time.monotonic() - started < 5.0
+    finally:
+        server.stop()
+
+
+def test_sigterm_drains_cli_daemon_cleanly():
+    repo_src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ, PYTHONPATH=str(repo_src), PYTHONUNBUFFERED="1")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.core.cli", "serve",
+         "--port", "0", "--workers", "1", "--queue-size", "4"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        banner = process.stdout.readline().strip()
+        assert banner.startswith("serving on http://")
+        url = banner.split()[-1]
+
+        ticket = post(url + "/v1/evaluate", SLOW_CELL)
+        process.send_signal(signal.SIGTERM)         # while the job runs
+        stdout, stderr = process.communicate(timeout=120)
+
+        assert process.returncode == 0, stderr
+        assert "drained cleanly" in stdout
+        assert ticket["job_id"]                     # accepted before the drain
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()

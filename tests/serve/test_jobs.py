@@ -1,0 +1,139 @@
+"""Unit tests for the bounded job queue and job lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import JobQueue, JobState, QueueFull
+
+
+def test_submit_pop_finish_lifecycle():
+    queue = JobQueue(maxsize=4)
+    job = queue.submit("evaluate", payload={"x": 1})
+    assert job.state is JobState.QUEUED
+    assert queue.pending() == 1
+    assert queue.get(job.id) is job
+
+    popped = queue.pop(timeout=0.1)
+    assert popped is job
+    assert popped.state is JobState.RUNNING
+    assert queue.pending() == 0
+    assert queue.inflight() == 1
+
+    queue.finish(job, JobState.DONE, result="ok", body=b"ok\n")
+    assert job.state is JobState.DONE
+    assert job.state.finished
+    assert job.done.is_set()
+    assert job.body == b"ok\n"
+    assert queue.inflight() == 0
+    assert job.to_dict()["state"] == "done"
+    assert "wall_s" in job.to_dict()
+
+
+def test_full_queue_raises_queue_full_with_retry_hint():
+    queue = JobQueue(maxsize=2)
+    queue.submit("evaluate", payload=1)
+    queue.submit("evaluate", payload=2)
+    with pytest.raises(QueueFull) as excinfo:
+        queue.submit("evaluate", payload=3)
+    assert excinfo.value.retry_after_s >= 1
+    assert queue.pending() == 2
+
+
+def test_running_jobs_do_not_consume_queue_capacity():
+    queue = JobQueue(maxsize=1)
+    first = queue.submit("evaluate", payload=1)
+    assert queue.pop(timeout=0.1) is first
+    # The slot freed by popping is available again while `first` runs.
+    queue.submit("evaluate", payload=2)
+
+
+def test_closed_queue_rejects_submissions_and_releases_workers():
+    queue = JobQueue(maxsize=4)
+    queue.close()
+    assert queue.closed
+    with pytest.raises(ServeError):
+        queue.submit("evaluate", payload=1)
+    # pop returns immediately (None) instead of blocking on the timeout.
+    started = time.monotonic()
+    assert queue.pop(timeout=5.0) is None
+    assert time.monotonic() - started < 1.0
+
+
+def test_pop_times_out_on_empty_open_queue():
+    queue = JobQueue(maxsize=4)
+    assert queue.pop(timeout=0.05) is None
+
+
+def test_deadline_expiry_and_remaining():
+    queue = JobQueue(maxsize=4)
+    job = queue.submit("evaluate", payload=1, deadline_s=0.05)
+    assert not job.expired()
+    assert 0 < job.remaining_s() <= 0.05
+    time.sleep(0.08)
+    assert job.expired()
+    assert job.remaining_s() == 0.0
+    unbounded = queue.submit("evaluate", payload=2)
+    assert not unbounded.expired()
+    assert unbounded.remaining_s() is None
+
+
+def test_expire_queued_drops_pending_job():
+    queue = JobQueue(maxsize=4)
+    job = queue.submit("evaluate", payload=1, deadline_s=0.01)
+    time.sleep(0.02)
+    queue.expire_queued(job)
+    assert job.state is JobState.EXPIRED
+    assert job.done.is_set()
+    assert queue.pending() == 0
+    assert queue.inflight() == 0
+    # No-op once a worker already holds the job.
+    other = queue.submit("evaluate", payload=2)
+    assert queue.pop(timeout=0.1) is other
+    queue.expire_queued(other)
+    assert other.state is JobState.RUNNING
+
+
+def test_wait_idle_blocks_until_backlog_clears():
+    queue = JobQueue(maxsize=4)
+    assert queue.wait_idle(timeout=0.05)            # already idle
+    job = queue.submit("evaluate", payload=1)
+    assert not queue.wait_idle(timeout=0.05)        # pending job blocks it
+
+    def worker():
+        popped = queue.pop(timeout=1.0)
+        time.sleep(0.05)
+        queue.finish(popped, JobState.DONE)
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    assert queue.wait_idle(timeout=5.0)
+    thread.join()
+    assert job.state is JobState.DONE
+
+
+def test_finished_jobs_evicted_past_retention_cap():
+    queue = JobQueue(maxsize=16, retain=2)
+    finished = []
+    for i in range(4):
+        job = queue.submit("evaluate", payload=i)
+        queue.pop(timeout=0.1)
+        queue.finish(job, JobState.DONE)
+        finished.append(job)
+    # Eviction happens on submit; one more pushes the oldest two out.
+    queue.submit("evaluate", payload=99)
+    assert queue.get(finished[0].id) is None
+    assert queue.get(finished[1].id) is None
+    assert queue.get(finished[2].id) is not None
+    assert queue.get(finished[3].id) is not None
+
+
+def test_job_ids_are_unique_and_ordered():
+    queue = JobQueue(maxsize=4)
+    first = queue.submit("evaluate", payload=1)
+    second = queue.submit("evaluate", payload=2)
+    assert first.id != second.id
+    assert first.id.startswith("job-000001-")
+    assert second.id.startswith("job-000002-")
