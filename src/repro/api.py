@@ -62,13 +62,18 @@ __all__ = [
     "ExperimentConfig",
     "Harness",
     "TableResult",
+    "compare_bench",
     "evaluate_cell",
     "evaluate_request",
+    "load_bench",
     "load_campaign",
     "load_table",
+    "run_bench",
     "run_campaign",
+    "run_hammer",
     "run_table1",
     "run_table2",
+    "save_bench",
     "save_table",
     "table_document",
     "table_from_document",
@@ -429,3 +434,49 @@ def load_table(path: str | Path) -> TableResult:
     """Reconstruct a :class:`TableResult` saved by :func:`save_table`."""
     document = json.loads(Path(path).read_text(encoding="utf-8"))
     return table_from_document(document)
+
+
+# -- benchmarking facade ---------------------------------------------------
+#
+# repro.bench imports this module (it drives the same evaluate_request /
+# run_campaign paths users pay for), so these wrappers import it lazily:
+# the facade stays one flat namespace without a circular import.
+
+
+def run_bench(suite: str = "table1", **kwargs):
+    """Benchmark the pipeline itself; see :func:`repro.bench.run_bench`."""
+    from repro.bench import run_bench as _run_bench
+
+    return _run_bench(suite, **kwargs)
+
+
+def run_hammer(url: str, **kwargs):
+    """Load-test a running serve daemon; see
+    :func:`repro.bench.run_hammer`."""
+    from repro.bench import run_hammer as _run_hammer
+
+    return _run_hammer(url, **kwargs)
+
+
+def compare_bench(baseline, candidate, **kwargs):
+    """Gate a candidate bench result against a baseline; see
+    :func:`repro.bench.compare_bench`."""
+    from repro.bench import compare_bench as _compare_bench
+
+    return _compare_bench(baseline, candidate, **kwargs)
+
+
+def save_bench(result, where: str | Path) -> Path:
+    """Write a ``BENCH_<area>.json`` document; see
+    :func:`repro.bench.save_bench`."""
+    from repro.bench import save_bench as _save_bench
+
+    return _save_bench(result, where)
+
+
+def load_bench(path: str | Path):
+    """Read a ``BENCH_<area>.json`` document; see
+    :func:`repro.bench.load_bench`."""
+    from repro.bench import load_bench as _load_bench
+
+    return _load_bench(path)

@@ -1,0 +1,68 @@
+"""Trustworthy self-benchmarking: harness, load generator, regression gate.
+
+The package applies the paper's own discipline — numbers are only as good
+as the validated substrate that produced them — to the reproduction's
+performance:
+
+* :mod:`repro.bench.harness` — ``repro-pmu bench run``: cells/sec and
+  simulated instructions/sec for table/sweep evaluation, cold and warm
+  cache phases reported separately, with hard sanity guards.
+* :mod:`repro.bench.hammer` — ``repro-pmu hammer``: a QPS load generator
+  for the serve daemon where errors are first-class outcomes and client
+  tallies are cross-checked against the daemon's ``/metrics``.
+* :mod:`repro.bench.result` — the versioned ``BENCH_<area>.json`` document
+  every run writes (guards attached to every metric).
+* :mod:`repro.bench.compare` — ``repro-pmu bench compare``: the
+  direction-aware perf-regression gate CI runs on those documents.
+"""
+
+from repro.bench.compare import (
+    DEFAULT_MAX_REGRESSION_PCT,
+    CompareResult,
+    MetricDelta,
+    compare_bench,
+)
+from repro.bench.guards import (
+    DEFAULT_MIN_ELAPSED_S,
+    check_absent,
+    check_alive,
+    check_counts_match,
+    check_min_elapsed,
+    check_nonzero_work,
+)
+from repro.bench.hammer import run_hammer
+from repro.bench.harness import SUITES, run_bench
+from repro.bench.result import (
+    BENCH_SCHEMA_VERSION,
+    BenchResult,
+    GuardCheck,
+    Metric,
+    bench_filename,
+    capture_environment,
+    load_bench,
+    save_bench,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_MAX_REGRESSION_PCT",
+    "DEFAULT_MIN_ELAPSED_S",
+    "SUITES",
+    "BenchResult",
+    "CompareResult",
+    "GuardCheck",
+    "Metric",
+    "MetricDelta",
+    "bench_filename",
+    "capture_environment",
+    "check_absent",
+    "check_alive",
+    "check_counts_match",
+    "check_min_elapsed",
+    "check_nonzero_work",
+    "compare_bench",
+    "load_bench",
+    "run_bench",
+    "run_hammer",
+    "save_bench",
+]

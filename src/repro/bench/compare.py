@@ -1,0 +1,179 @@
+"""`repro-pmu bench compare`: the perf-regression gate.
+
+Diffs two ``BENCH_<area>.json`` documents (a baseline and a candidate
+trajectory point) metric by metric and exits nonzero when the candidate
+regresses past a threshold.  Trust rules, in order:
+
+* Area mismatch is a usage error (:class:`~repro.errors.BenchError`) — a
+  ``table1`` baseline says nothing about a ``serve`` candidate.
+* An ``invalid``/``failed`` candidate **fails the gate outright**: numbers
+  whose guards tripped are forensic artifacts, not evidence.  Same for an
+  untrustworthy baseline — you cannot regress against a lie.
+* A metric present in the baseline but missing (or value-less) in the
+  candidate fails: silently losing a metric is how regressions hide.
+* Direction-aware deltas: ``higher``-is-better metrics regress when the
+  candidate drops by more than ``max_regression_pct``; ``lower``-is-better
+  (latencies, error rates) when it *rises* past the threshold.
+  Improvements and new candidate-only metrics are reported, never fatal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.result import STATUS_OK, BenchResult, Metric
+from repro.errors import BenchError
+
+#: Default allowed regression before the gate trips, in percent.  Generous
+#: enough for same-machine run-to-run noise at small iteration counts;
+#: cross-machine comparisons (CI vs a checked-in baseline) should pass an
+#: explicitly wider threshold.
+DEFAULT_MAX_REGRESSION_PCT = 20.0
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's baseline→candidate movement."""
+
+    name: str
+    unit: str
+    direction: str
+    baseline: float | None
+    candidate: float | None
+    change_pct: float | None            # signed, in the metric's direction
+    regressed: bool
+    note: str = ""
+
+    def render(self) -> str:
+        def fmt(value: float | None) -> str:
+            return "--" if value is None else f"{value:,.4g}"
+
+        arrow = f"{fmt(self.baseline)} -> {fmt(self.candidate)} {self.unit}"
+        if self.change_pct is None:
+            change = ""
+        else:
+            change = f"  ({self.change_pct:+.1f}%)"
+        verdict = "  REGRESSION" if self.regressed else ""
+        note = f"  [{self.note}]" if self.note else ""
+        return f"  {self.name:<24} {arrow}{change}{verdict}{note}"
+
+
+@dataclass(frozen=True)
+class CompareResult:
+    """The gate's verdict over a whole document pair."""
+
+    area: str
+    max_regression_pct: float
+    deltas: tuple[MetricDelta, ...]
+    problems: tuple[str, ...] = ()       # trust failures, missing metrics
+
+    @property
+    def regressions(self) -> tuple[MetricDelta, ...]:
+        return tuple(d for d in self.deltas if d.regressed)
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions and not self.problems
+
+    def render(self) -> str:
+        lines = [
+            f"BENCH COMPARE {self.area} "
+            f"(max regression {self.max_regression_pct:g}%): "
+            f"{'PASS' if self.passed else 'FAIL'}"
+        ]
+        for problem in self.problems:
+            lines.append(f"  problem: {problem}")
+        lines.extend(delta.render() for delta in self.deltas)
+        return "\n".join(lines)
+
+
+def _signed_change_pct(baseline: float, candidate: float,
+                       direction: str) -> float:
+    """Percent change where negative always means 'got worse'."""
+    if baseline == 0:
+        return 0.0
+    raw = (candidate - baseline) / abs(baseline) * 100.0
+    return raw if direction == "higher" else -raw
+
+
+def compare_bench(
+    baseline: BenchResult,
+    candidate: BenchResult,
+    *,
+    max_regression_pct: float = DEFAULT_MAX_REGRESSION_PCT,
+) -> CompareResult:
+    """Gate ``candidate`` against ``baseline``; never raises for perf —
+    only for unusable inputs (area mismatch, negative threshold)."""
+    if max_regression_pct < 0:
+        raise BenchError("max_regression_pct must be >= 0")
+    if baseline.area != candidate.area:
+        raise BenchError(
+            f"cannot compare different areas: baseline is "
+            f"{baseline.area!r}, candidate is {candidate.area!r}"
+        )
+
+    problems: list[str] = []
+    if baseline.status != STATUS_OK:
+        problems.append(
+            f"baseline is {baseline.status}"
+            + (f": {baseline.error}" if baseline.error else "")
+            + " — cannot regress against an untrusted baseline"
+        )
+    if candidate.status != STATUS_OK:
+        problems.append(
+            f"candidate is {candidate.status}"
+            + (f": {candidate.error}" if candidate.error else "")
+            + " — guard-tripped numbers are not evidence"
+        )
+
+    deltas: list[MetricDelta] = []
+    for base_metric in baseline.metrics:
+        cand_metric = candidate.metric(base_metric.name)
+        deltas.append(_delta(base_metric, cand_metric, max_regression_pct,
+                             problems))
+    for cand_metric in candidate.metrics:
+        if baseline.metric(cand_metric.name) is None:
+            deltas.append(MetricDelta(
+                name=cand_metric.name, unit=cand_metric.unit,
+                direction=cand_metric.direction, baseline=None,
+                candidate=cand_metric.value, change_pct=None,
+                regressed=False, note="new metric (no baseline)",
+            ))
+    return CompareResult(
+        area=baseline.area,
+        max_regression_pct=max_regression_pct,
+        deltas=tuple(deltas),
+        problems=tuple(problems),
+    )
+
+
+def _delta(base_metric: Metric, cand_metric: Metric | None,
+           max_regression_pct: float,
+           problems: list[str]) -> MetricDelta:
+    name = base_metric.name
+    if cand_metric is None or cand_metric.value is None:
+        problems.append(
+            f"metric {name!r} present in baseline but "
+            + ("missing from candidate" if cand_metric is None
+               else "value-less in candidate")
+        )
+        return MetricDelta(
+            name=name, unit=base_metric.unit,
+            direction=base_metric.direction, baseline=base_metric.value,
+            candidate=None, change_pct=None, regressed=True,
+            note="missing in candidate",
+        )
+    if base_metric.value is None:
+        return MetricDelta(
+            name=name, unit=base_metric.unit,
+            direction=base_metric.direction, baseline=None,
+            candidate=cand_metric.value, change_pct=None, regressed=False,
+            note="baseline value-less",
+        )
+    change = _signed_change_pct(base_metric.value, cand_metric.value,
+                                base_metric.direction)
+    return MetricDelta(
+        name=name, unit=base_metric.unit, direction=base_metric.direction,
+        baseline=base_metric.value, candidate=cand_metric.value,
+        change_pct=change, regressed=change < -max_regression_pct,
+    )

@@ -29,7 +29,7 @@ import time
 from pathlib import Path
 
 from repro._version import __version__
-from repro.errors import RequestError, SweepError
+from repro.errors import BenchError, RequestError, SweepError
 from repro.cpu.uarch import ALL_UARCHES
 from repro.obs.log import get_logger
 from repro.obs import (
@@ -560,6 +560,12 @@ def main(argv: list[str] | None = None) -> int:
     pd.add_argument("--scale", type=float, default=0.01)
     pd.set_defaults(func=_cmd_disasm)
 
+    # bench run / bench compare / hammer live in repro.bench.cli; parser
+    # registration is cheap, the heavy imports stay inside the commands.
+    from repro.bench.cli import register_parsers as _register_bench
+
+    _register_bench(sub, _add_obs_args)
+
     args = parser.parse_args(argv)
     logger = setup_cli_logging(verbose=args.verbose, quiet=args.quiet)
     out = Emitter(logger)
@@ -586,7 +592,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         try:
             return args.func(args, out)
-        except (RequestError, SweepError, FileNotFoundError) as exc:
+        except (BenchError, RequestError, SweepError,
+                FileNotFoundError) as exc:
             out.error("error: %s", exc)
             return 2
     finally:

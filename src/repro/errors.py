@@ -45,3 +45,7 @@ class ServeError(ReproError):
 
 class EvaluationAborted(ReproError):
     """An evaluation was cooperatively cancelled (deadline expiry, drain)."""
+
+
+class BenchError(ReproError):
+    """A benchmark run, result document, or comparison is invalid."""

@@ -22,7 +22,11 @@ Typical library use::
     print(render_span_tree(col))
 """
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    HistogramSnapshot,
+    MetricsRegistry,
+)
 from repro.obs.tracer import (
     SCHEMA_VERSION,
     Collector,
@@ -35,6 +39,7 @@ from repro.obs.tracer import (
     gauge,
     get_collector,
     install,
+    observe,
     span,
     uninstall,
 )
@@ -56,8 +61,10 @@ from repro.obs.log import Emitter, get_logger, setup_cli_logging
 
 __all__ = [
     # tracing core
+    "DEFAULT_BUCKETS",
     "SCHEMA_VERSION",
     "Collector",
+    "HistogramSnapshot",
     "MetricsRegistry",
     "NullSpan",
     "Span",
@@ -68,6 +75,7 @@ __all__ = [
     "gauge",
     "get_collector",
     "install",
+    "observe",
     "span",
     "uninstall",
     # exporters

@@ -69,14 +69,21 @@ def _prometheus_name(prefix: str, name: str) -> str:
     return _METRIC_NAME_RE.sub("_", f"{prefix}_{name}" if prefix else name)
 
 
+def _format_le(bound: float) -> str:
+    """Bucket bound label: integral floats render bare (0.25, 1, 30)."""
+    return str(int(bound)) if float(bound).is_integer() else repr(bound)
+
+
 def render_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
     """Render a metrics registry in the Prometheus text exposition format.
 
     Dotted counter names become ``<prefix>_<name>`` with non-alphanumeric
     characters collapsed to underscores (``cache.hits`` →
     ``repro_cache_hits``); counters carry a ``_total`` suffix per the
-    Prometheus naming convention, gauges are exposed as-is.  This is what
-    the serve daemon's ``GET /metrics`` endpoint returns.
+    Prometheus naming convention, gauges are exposed as-is, and histograms
+    expand to the cumulative ``_bucket{le="..."}`` series (``+Inf``
+    included) plus ``_sum``/``_count``.  This is what the serve daemon's
+    ``GET /metrics`` endpoint returns.
     """
     lines: list[str] = []
     for name, value in registry.counters().items():
@@ -87,6 +94,17 @@ def render_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
         metric = _prometheus_name(prefix, name)
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {value}")
+    for name, snapshot in registry.histograms().items():
+        metric = _prometheus_name(prefix, name)
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, cumulative in zip(snapshot.buckets,
+                                     snapshot.bucket_counts):
+            lines.append(
+                f'{metric}_bucket{{le="{_format_le(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {snapshot.count}')
+        lines.append(f"{metric}_sum {snapshot.sum}")
+        lines.append(f"{metric}_count {snapshot.count}")
     return "\n".join(lines) + "\n" if lines else ""
 
 

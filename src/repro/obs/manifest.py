@@ -71,6 +71,14 @@ def build_manifest(
         manifest["phases"] = collector.phase_summary()
         manifest["counters"] = collector.metrics.counters()
         manifest["gauges"] = collector.metrics.gauges()
+        histograms = collector.metrics.histograms()
+        if histograms:
+            manifest["histograms"] = {
+                name: {"buckets": list(snapshot.buckets),
+                       "bucket_counts": list(snapshot.bucket_counts),
+                       "sum": snapshot.sum, "count": snapshot.count}
+                for name, snapshot in histograms.items()
+            }
     if extra:
         manifest.update(extra)
     return manifest

@@ -1,15 +1,25 @@
-"""Thread-safe in-process metrics: monotonic counters and point gauges.
+"""Thread-safe in-process metrics: counters, gauges, and histograms.
 
-The registry is deliberately tiny — a dict behind a lock — because the
+The registry is deliberately tiny — dicts behind a lock — because the
 pipeline increments counters per *batch* (one sampling session, one
 attribution pass), never per instruction, so contention is negligible.
 Names are dotted strings (``samples.collected``, ``overflows.scheduled``)
 so exporters can group them by subsystem.
+
+Histograms use fixed, Prometheus-style cumulative buckets: one
+:meth:`MetricsRegistry.observe` call lands the value in every bucket whose
+upper bound is >= the value, plus the implicit ``+Inf`` bucket, and
+accumulates ``sum``/``count`` — exactly the ``_bucket``/``_sum``/``_count``
+triplet :func:`repro.obs.export.render_prometheus` exposes, which is what
+lets a load generator cross-check its client-side latency percentiles
+against the daemon's own view.
 """
 
 from __future__ import annotations
 
+import bisect
 import threading
+from dataclasses import dataclass
 
 
 def _as_number(value):
@@ -19,15 +29,83 @@ def _as_number(value):
     return value
 
 
+#: Default histogram bucket upper bounds, in seconds — tuned for request
+#: latencies between sub-millisecond cache hits and multi-second table
+#: builds.  The ``+Inf`` bucket is implicit.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Point-in-time copy of one histogram.
+
+    ``bucket_counts[i]`` is the *cumulative* count of observations with
+    value <= ``buckets[i]``; ``count`` doubles as the ``+Inf`` bucket.
+    """
+
+    buckets: tuple[float, ...]
+    bucket_counts: tuple[int, ...]
+    sum: float
+    count: int
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the cumulative buckets.
+
+        Returns the upper bound of the first bucket whose cumulative count
+        reaches the target rank — a conservative (upper-bound) estimate,
+        ``inf`` when the rank falls in the ``+Inf`` bucket, and ``nan`` for
+        an empty histogram.
+        """
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        for bound, cumulative in zip(self.buckets, self.bucket_counts):
+            if cumulative >= rank:
+                return bound
+        return float("inf")
+
+
+class _Histogram:
+    """Mutable cumulative histogram (internal; snapshot to read)."""
+
+    __slots__ = ("buckets", "bucket_counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...]) -> None:
+        self.buckets = buckets
+        self.bucket_counts = [0] * len(buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        for i in range(bisect.bisect_left(self.buckets, value),
+                       len(self.buckets)):
+            self.bucket_counts[i] += 1
+        self.sum += value
+        self.count += 1
+
+    def snapshot(self) -> HistogramSnapshot:
+        return HistogramSnapshot(
+            buckets=self.buckets,
+            bucket_counts=tuple(self.bucket_counts),
+            sum=self.sum,
+            count=self.count,
+        )
+
+
 class MetricsRegistry:
-    """Counters (monotonic sums) and gauges (last-written values)."""
+    """Counters (monotonic sums), gauges (last-written values), and
+    cumulative histograms (:meth:`observe`)."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
-        #: Total number of counter/gauge updates (used by the overhead guard
-        #: to size the instrumentation cost of a run).
+        self._histograms: dict[str, _Histogram] = {}
+        #: Total number of counter/gauge/histogram updates (used by the
+        #: overhead guard to size the instrumentation cost of a run).
         self.updates = 0
 
     def count(self, name: str, n: int | float = 1) -> None:
@@ -58,3 +136,33 @@ class MetricsRegistry:
         """Snapshot of all gauges, sorted by name."""
         with self._lock:
             return dict(sorted(self._gauges.items()))
+
+    def observe(self, name: str, value: int | float,
+                buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        """Record one observation in histogram ``name``.
+
+        ``buckets`` fixes the bucket bounds the first time a name is seen;
+        later calls reuse the existing bounds (mixing bounds for one name
+        would corrupt the cumulative counts).
+        """
+        value = _as_number(value)
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = _Histogram(
+                    tuple(sorted(buckets))
+                )
+            histogram.observe(value)
+            self.updates += 1
+
+    def histogram(self, name: str) -> HistogramSnapshot | None:
+        """Snapshot of one histogram (``None`` if never observed)."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            return None if histogram is None else histogram.snapshot()
+
+    def histograms(self) -> dict[str, HistogramSnapshot]:
+        """Snapshots of all histograms, sorted by name."""
+        with self._lock:
+            return {name: histogram.snapshot()
+                    for name, histogram in sorted(self._histograms.items())}

@@ -1,13 +1,15 @@
 """The JSONL event-stream schema: constants, validation, and a checker CLI.
 
 Every line of a ``--trace`` file is one JSON object with at least ``v``
-(schema version), ``type``, and ``ts`` (epoch seconds). Five event types
+(schema version), ``type``, and ``ts`` (epoch seconds). Six event types
 exist:
 
 * ``run_start`` — ``command`` (list of str), ``version``
 * ``span``      — ``seq``, ``name``, ``path``, ``parent``, ``depth``,
   ``thread``, ``wall_s``, ``cpu_s``, ``attrs``, ``ok``
 * ``counter`` / ``gauge`` — ``name``, ``value``
+* ``histogram`` — ``name``, ``buckets``, ``bucket_counts``, ``sum``,
+  ``count`` (cumulative, Prometheus-style)
 * ``run_end``   — ``wall_s``
 
 Run ``python -m repro.obs.schema FILE.jsonl`` to validate a trace; CI uses
@@ -25,7 +27,8 @@ from typing import Any, Iterable
 
 from repro.obs.tracer import SCHEMA_VERSION
 
-EVENT_TYPES = ("run_start", "span", "counter", "gauge", "run_end")
+EVENT_TYPES = ("run_start", "span", "counter", "gauge", "histogram",
+               "run_end")
 
 _REQUIRED: dict[str, dict[str, tuple[type, ...]]] = {
     "run_start": {"command": (list,), "version": (str,)},
@@ -42,6 +45,13 @@ _REQUIRED: dict[str, dict[str, tuple[type, ...]]] = {
     },
     "counter": {"name": (str,), "value": (int, float)},
     "gauge": {"name": (str,), "value": (int, float)},
+    "histogram": {
+        "name": (str,),
+        "buckets": (list,),
+        "bucket_counts": (list,),
+        "sum": (int, float),
+        "count": (int,),
+    },
     "run_end": {"wall_s": (int, float)},
 }
 
@@ -67,6 +77,15 @@ def validate_event(event: Any) -> list[str]:
             problems.append(f"field {key!r} missing or not {types}")
         elif types == (int, float) and isinstance(value, bool):
             problems.append(f"field {key!r} must be numeric, got bool")
+    if event_type == "histogram":
+        buckets = event.get("buckets")
+        bucket_counts = event.get("bucket_counts")
+        if isinstance(buckets, list) and isinstance(bucket_counts, list):
+            if len(buckets) != len(bucket_counts):
+                problems.append("buckets and bucket_counts length mismatch")
+            elif any(b > a for a, b in zip(bucket_counts[1:],
+                                           bucket_counts)):
+                problems.append("bucket_counts not cumulative")
     if event_type == "span":
         if isinstance(event.get("wall_s"), (int, float)) \
                 and event["wall_s"] < 0:

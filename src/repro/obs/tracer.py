@@ -17,7 +17,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
-from repro.obs.metrics import MetricsRegistry, _as_number
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry, _as_number
 
 #: Event-stream schema version (see :mod:`repro.obs.schema`).
 SCHEMA_VERSION = 1
@@ -171,7 +171,8 @@ class Collector:
             ))
 
     def flush_metrics(self) -> None:
-        """Emit one ``counter``/``gauge`` event per metric to the sink."""
+        """Emit one ``counter``/``gauge``/``histogram`` event per metric to
+        the sink."""
         if self.sink is None:
             return
         now = time.time()
@@ -181,6 +182,12 @@ class Collector:
         for name, value in self.metrics.gauges().items():
             self.sink({"v": SCHEMA_VERSION, "type": "gauge",
                        "name": name, "value": value, "ts": now})
+        for name, snapshot in self.metrics.histograms().items():
+            self.sink({"v": SCHEMA_VERSION, "type": "histogram",
+                       "name": name, "buckets": list(snapshot.buckets),
+                       "bucket_counts": list(snapshot.bucket_counts),
+                       "sum": snapshot.sum, "count": snapshot.count,
+                       "ts": now})
 
 
 class Span:
@@ -305,6 +312,14 @@ def gauge(name: str, value: int | float) -> None:
     collector = _collector
     if collector is not None:
         collector.metrics.gauge(name, value)
+
+
+def observe(name: str, value: int | float,
+            buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+    """Record a histogram observation (no-op when disabled)."""
+    collector = _collector
+    if collector is not None:
+        collector.metrics.observe(name, value, buckets=buckets)
 
 
 @contextmanager

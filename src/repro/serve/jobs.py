@@ -20,7 +20,7 @@ from enum import Enum
 from typing import Any
 
 from repro.errors import ServeError
-from repro.obs import count, gauge
+from repro.obs import count, gauge, observe
 
 
 class QueueFull(ServeError):
@@ -53,6 +53,12 @@ class Job:
     completion); workers poll :meth:`expired` between seeded repeats, so a
     job whose client has already been answered 504 stops burning CPU at
     the next repeat boundary.
+
+    Timestamps come in two flavours on purpose: the ``*_ts`` fields are
+    wall-clock (``time.time``), kept for *display* in status documents,
+    while all elapsed math (queue wait, run duration) derives from the
+    ``*_mono`` fields (``time.perf_counter``) — a wall-clock step under
+    NTP must never corrupt a duration metric.
     """
 
     id: str
@@ -63,6 +69,9 @@ class Job:
     created_ts: float = field(default_factory=time.time)
     started_ts: float | None = None
     finished_ts: float | None = None
+    created_mono: float = field(default_factory=time.perf_counter)
+    started_mono: float | None = None
+    finished_mono: float | None = None
     result: Any = None
     body: bytes | None = None                # canonical response bytes
     error: str | None = None
@@ -78,6 +87,18 @@ class Job:
             return None
         return max(0.0, self.deadline - time.monotonic())
 
+    def queue_wait_s(self) -> float | None:
+        """Seconds spent queued before a worker picked the job up."""
+        if self.started_mono is None:
+            return None
+        return max(0.0, self.started_mono - self.created_mono)
+
+    def run_s(self) -> float | None:
+        """Seconds spent running (monotonic; immune to wall-clock steps)."""
+        if self.started_mono is None or self.finished_mono is None:
+            return None
+        return max(0.0, self.finished_mono - self.started_mono)
+
     def to_dict(self) -> dict[str, Any]:
         """Status document for ``GET /v1/jobs/<id>``."""
         document: dict[str, Any] = {
@@ -86,8 +107,12 @@ class Job:
             "state": self.state.value,
             "created_ts": self.created_ts,
         }
-        if self.started_ts is not None and self.finished_ts is not None:
-            document["wall_s"] = self.finished_ts - self.started_ts
+        wall_s = self.run_s()
+        if wall_s is not None:
+            document["wall_s"] = wall_s
+        queue_wait_s = self.queue_wait_s()
+        if queue_wait_s is not None:
+            document["queue_wait_s"] = queue_wait_s
         if self.error is not None:
             document["error"] = self.error
         return document
@@ -162,17 +187,20 @@ class JobQueue:
             job = self._pending.popleft()
             job.state = JobState.RUNNING
             job.started_ts = time.time()
+            job.started_mono = time.perf_counter()
             self._inflight += 1
             gauge("serve.queue_depth", len(self._pending))
             gauge("serve.jobs_inflight", self._inflight)
+        observe("serve.queue_wait_s", job.queue_wait_s())
         return job
 
     def finish(self, job: Job, state: JobState, result: Any = None,
                body: bytes | None = None, error: str | None = None) -> None:
         """Record a popped job's outcome and wake its waiters."""
         with self._cond:
-            if job.started_ts is None:       # finished straight from QUEUED
+            if job.started_mono is None:     # finished straight from QUEUED
                 job.started_ts = time.time()
+                job.started_mono = time.perf_counter()
             else:
                 self._inflight -= 1
             job.state = state
@@ -180,9 +208,11 @@ class JobQueue:
             job.body = body
             job.error = error
             job.finished_ts = time.time()
+            job.finished_mono = time.perf_counter()
             gauge("serve.jobs_inflight", self._inflight)
             count(f"serve.jobs_{state.value}")
             self._cond.notify_all()
+        observe("serve.job_run_s", job.run_s())
         job.done.set()
 
     def expire_queued(self, job: Job) -> None:

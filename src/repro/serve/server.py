@@ -30,7 +30,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro._version import __version__
 from repro.api import EvaluateRequest
 from repro.errors import RequestError, ServeError
-from repro.obs import Collector, count, get_collector, install
+from repro.obs import Collector, count, get_collector, install, observe
 from repro.obs.export import render_prometheus
 from repro.obs.log import get_logger
 from repro.core.cache import ArtifactCache
@@ -128,6 +128,18 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"unknown route {self.path}"})
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        # Request latency is measured here at the HTTP layer (queue wait +
+        # evaluation + response marshalling, monotonic clock) so a load
+        # generator can cross-check its client-side percentiles against
+        # the daemon's own serve.request_latency_s histogram on /metrics.
+        started = time.perf_counter()
+        try:
+            self._do_post()
+        finally:
+            observe("serve.request_latency_s",
+                    time.perf_counter() - started)
+
+    def _do_post(self) -> None:
         count("serve.requests")
         if self.path not in ("/v1/evaluate", "/v1/table"):
             self._send_json(404, {"error": f"unknown route {self.path}"})
@@ -300,4 +312,8 @@ class ProfilingServer:
         collector = get_collector()
         if collector is None:
             return ""
+        # Refresh the depth/inflight gauges at scrape time so they exist
+        # (at zero) even before the first job and never go stale.
+        collector.metrics.gauge("serve.queue_depth", self.queue.pending())
+        collector.metrics.gauge("serve.jobs_inflight", self.queue.inflight())
         return render_prometheus(collector.metrics)

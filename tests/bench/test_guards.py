@@ -1,0 +1,45 @@
+"""Each sanity guard: what it vouches for, and when it refuses."""
+
+from repro.bench.guards import (
+    check_absent,
+    check_alive,
+    check_counts_match,
+    check_min_elapsed,
+    check_nonzero_work,
+)
+
+
+def test_min_elapsed_guard():
+    assert check_min_elapsed(0.5, 0.05).passed
+    short = check_min_elapsed(0.0001, 0.05)
+    assert not short.passed
+    assert "0.0001" in short.detail and "0.05" in short.detail
+
+
+def test_nonzero_work_guard():
+    assert check_nonzero_work(7, "harness.cells_evaluated").passed
+    zero = check_nonzero_work(0, "harness.cells_evaluated")
+    assert not zero.passed
+    assert "harness.cells_evaluated" in zero.detail
+
+
+def test_absent_guard_inverts_nonzero():
+    assert check_absent(0, "harness.cells_evaluated").passed
+    hidden = check_absent(3, "harness.cells_evaluated")
+    assert not hidden.passed
+    assert "expected 0" in hidden.detail
+
+
+def test_counts_match_guard_with_tolerance():
+    assert check_counts_match(40, 40, "posts").passed
+    assert check_counts_match(40, 42, "posts", tolerance=2).passed
+    off = check_counts_match(40, 45, "posts", tolerance=2)
+    assert not off.passed
+    assert "client=40" in off.detail and "daemon=45" in off.detail
+
+
+def test_alive_guard():
+    assert check_alive(True, "before load").passed
+    dead = check_alive(False, "after load")
+    assert not dead.passed
+    assert "UNREACHABLE" in dead.detail

@@ -1,0 +1,111 @@
+"""hammer: honest load numbers, failure when the daemon cannot vouch."""
+
+import threading
+
+import pytest
+
+from repro.bench.hammer import (
+    _histogram_quantile,
+    parse_prometheus,
+    run_hammer,
+)
+from repro.serve import ProfilingServer, ServerConfig
+
+
+@pytest.fixture()
+def server():
+    instance = ProfilingServer(ServerConfig(port=0, workers=2,
+                                            queue_size=32))
+    instance.start()
+    yield instance
+    instance.drain(timeout=10.0)
+    instance.stop()
+
+
+def test_hammer_reports_sustained_qps_and_percentiles(server):
+    result = run_hammer(server.url, qps=20, duration_s=1.5, concurrency=4,
+                        scale=0.01, min_elapsed_s=0.01)
+    assert result.status == "ok"
+    assert result.kind == "hammer"
+    qps = result.metric("sustained_qps")
+    assert qps.valid and 0 < qps.value
+    p50 = result.metric("latency_p50_s")
+    p99 = result.metric("latency_p99_s")
+    assert p50.valid and p99.valid and p50.value <= p99.value
+    assert result.metric("error_rate").value == 0.0
+    outcomes = result.details["outcomes"]
+    assert outcomes["ok"] == result.details["requests_sent"]
+    # Client tallies reconcile with the daemon's own /metrics deltas.
+    assert result.details["client_handled"] == \
+        result.details["daemon_handled"]
+    assert result.details["daemon_latency_quantiles_s"]["p50"] is not None
+
+
+def test_hammer_unreachable_daemon_is_failed_not_a_number():
+    # Nothing listens on this port; the result must be failed with no
+    # metrics, never a zero-QPS "measurement".
+    result = run_hammer("http://127.0.0.1:9", qps=5, duration_s=0.5)
+    assert result.status == "failed"
+    assert "unreachable" in result.error
+    assert result.metrics == ()
+
+
+def test_hammer_daemon_dying_mid_load_is_failed(server):
+    # Kill the daemon shortly after the load starts: requests start
+    # failing at the transport level and the final health check fails.
+    killer = threading.Timer(0.3, lambda: (server.drain(timeout=2.0),
+                                           server.stop()))
+    killer.start()
+    try:
+        result = run_hammer(server.url, qps=20, duration_s=2.0,
+                            concurrency=4, scale=0.01, timeout_s=3.0)
+    finally:
+        killer.join()
+    assert result.status == "failed"
+    assert "after load" in result.error
+    # The partial outcome tally is preserved for forensics.
+    assert result.details["requests_sent"] == 40
+    assert not result.ok
+
+
+def test_parse_prometheus_counters_gauges_and_buckets():
+    text = "\n".join([
+        "# TYPE repro_serve_requests_total counter",
+        "repro_serve_requests_total 41",
+        "repro_serve_queue_depth 2",
+        'repro_serve_request_latency_s_bucket{le="0.005"} 3',
+        'repro_serve_request_latency_s_bucket{le="+Inf"} 5',
+        "repro_serve_request_latency_s_sum 1.25",
+        "repro_serve_request_latency_s_count 5",
+        "",
+        "garbage line without value x",
+    ])
+    samples = parse_prometheus(text)
+    assert samples["repro_serve_requests_total"] == 41
+    assert samples["repro_serve_queue_depth"] == 2
+    assert samples['repro_serve_request_latency_s_bucket{le="0.005"}'] == 3
+    assert samples["repro_serve_request_latency_s_count"] == 5
+    assert "garbage line without value x" not in samples
+
+
+def test_histogram_quantile_over_scrape_deltas():
+    metric = "m"
+    before = {f'm_bucket{{le="0.01"}}': 10.0, f'm_bucket{{le="0.1"}}': 10.0,
+              f'm_bucket{{le="+Inf"}}': 10.0}
+    after = {f'm_bucket{{le="0.01"}}': 12.0, f'm_bucket{{le="0.1"}}': 19.0,
+             f'm_bucket{{le="+Inf"}}': 20.0}
+    # Window deltas: 2 obs <= 0.01, 9 <= 0.1, 10 total.
+    assert _histogram_quantile(before, after, metric, 0.10) == 0.01
+    assert _histogram_quantile(before, after, metric, 0.50) == 0.1
+    assert _histogram_quantile(before, after, metric, 0.99) == float("inf")
+    # No observations in the window -> no quantile, not a fake zero.
+    assert _histogram_quantile(after, after, metric, 0.5) is None
+
+
+def test_hammer_rejects_bad_arguments():
+    from repro.errors import BenchError
+
+    with pytest.raises(BenchError):
+        run_hammer("http://x", qps=0)
+    with pytest.raises(BenchError):
+        run_hammer("http://x", concurrency=0)

@@ -1,0 +1,78 @@
+"""bench run: honest numbers on real runs, invalid on dishonest ones."""
+
+import pytest
+
+from repro.bench.harness import run_bench
+from repro.errors import BenchError
+
+#: One cheap cell set so tests stay fast: a single kernel, two methods.
+FAST = dict(workloads=("latency_biased",), methods=("classic", "precise"),
+            scale=0.02, repeats=1, iterations=2, warmup=1,
+            min_elapsed_s=0.0001)
+
+
+def test_table1_bench_reports_cold_and_warm_separately(tmp_path):
+    result = run_bench("table1", cache_dir=tmp_path / "cache", **FAST)
+    assert result.status == "ok"
+    assert result.kind == "bench"
+    cold = result.metric("cold.cells_per_s")
+    warm = result.metric("warm.cells_per_s")
+    instr = result.metric("cold.instructions_per_s")
+    assert cold.valid and warm.valid and instr.valid
+    assert len(cold.samples) == 2
+    # Warm (artifact-cache) passes answer from stored stats and must beat
+    # cold re-simulation by a wide margin — the two are different numbers.
+    assert warm.value > cold.value
+    assert instr.value > 0
+    assert result.config["cells_total"] == 2
+    assert result.details["instructions_per_pass"] > 0
+    # Provenance and environment travel with the document.
+    assert result.provenance["bench_suite"] == "table1"
+    assert result.environment["python"]
+
+
+def test_zero_work_marks_result_invalid_not_a_number():
+    # magnycours has no LBR: every lbr cell is blank, so the bench does
+    # zero real work.  The guards must flag it instead of reporting an
+    # (absurd) cells/sec figure.
+    result = run_bench("table1", machine="magnycours",
+                       workloads=("latency_biased",), methods=("lbr",),
+                       scale=0.02, repeats=1, iterations=1, warmup=1,
+                       min_elapsed_s=0.0)
+    assert result.status == "invalid"
+    cold = result.metric("cold.cells_per_s")
+    assert cold.value is None                 # never a number
+    assert not cold.valid
+    failed = {g.name for g in cold.guards if not g.passed}
+    assert "nonzero_work" in failed
+
+
+def test_under_min_elapsed_marks_result_invalid():
+    result = run_bench("table1", **{**FAST, "min_elapsed_s": 3600.0})
+    assert result.status == "invalid"
+    cold = result.metric("cold.cells_per_s")
+    # The number is kept for forensics but flagged untrustworthy.
+    assert cold.value is not None
+    assert not cold.valid
+    assert any(g.name == "min_elapsed" and not g.passed
+               for g in cold.guards)
+
+
+def test_sweep_bench_measures_campaign_points():
+    result = run_bench("sweep", workloads=("latency_biased",),
+                       methods=("classic",), periods=(500, 1000),
+                       scale=0.02, repeats=1, iterations=1, warmup=0,
+                       min_elapsed_s=0.0001)
+    assert result.status == "ok"
+    points = result.metric("sweep.points_per_s")
+    assert points.valid and points.value > 0
+    assert result.config["points"] > 0
+
+
+def test_bad_arguments_raise_bench_error():
+    with pytest.raises(BenchError, match="unknown bench suite"):
+        run_bench("table9")
+    with pytest.raises(BenchError, match="iterations"):
+        run_bench("table1", iterations=0)
+    with pytest.raises(BenchError, match="warmup"):
+        run_bench("table1", warmup=-1)

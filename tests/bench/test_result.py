@@ -1,0 +1,121 @@
+"""The BENCH_<area>.json document: round-trips, rejection, guard rollup."""
+
+import json
+
+import pytest
+
+from repro.bench.result import (
+    BENCH_SCHEMA_VERSION,
+    BenchResult,
+    GuardCheck,
+    Metric,
+    bench_filename,
+    load_bench,
+    save_bench,
+)
+from repro.errors import BenchError
+
+
+def _ok_result(**overrides):
+    defaults = dict(
+        area="table1",
+        kind="bench",
+        config={"suite": "table1", "scale": 0.05},
+        metrics=(
+            Metric(name="cold.cells_per_s", value=12.5, unit="cells/s",
+                   samples=(12.0, 12.5, 13.0),
+                   guards=(GuardCheck("min_elapsed", True, "0.9s >= 0.05s"),)),
+        ),
+        details={"cold_elapsed_s": [0.9, 0.88, 0.91]},
+    )
+    defaults.update(overrides)
+    return BenchResult(**defaults)
+
+
+def test_round_trip_through_disk(tmp_path):
+    result = _ok_result()
+    path = save_bench(result, tmp_path)
+    assert path == tmp_path / "BENCH_table1.json"
+    loaded = load_bench(path)
+    assert loaded.area == "table1"
+    assert loaded.status == "ok"
+    assert loaded.metric("cold.cells_per_s").value == 12.5
+    assert loaded.metric("cold.cells_per_s").samples == (12.0, 12.5, 13.0)
+    assert loaded.metric("cold.cells_per_s").guards[0].passed
+    assert loaded.config == result.config
+    assert loaded.details == result.details
+
+
+def test_save_accepts_explicit_file_path(tmp_path):
+    path = save_bench(_ok_result(), tmp_path / "custom.json")
+    assert path.name == "custom.json"
+    assert load_bench(path).area == "table1"
+
+
+def test_wrong_schema_version_rejected(tmp_path):
+    document = _ok_result().to_dict()
+    document["bench_schema_version"] = BENCH_SCHEMA_VERSION + 1
+    path = tmp_path / "BENCH_table1.json"
+    path.write_text(json.dumps(document))
+    with pytest.raises(BenchError, match="bench_schema_version"):
+        load_bench(path)
+
+
+def test_stored_status_contradicting_guards_rejected(tmp_path):
+    # A hand-edited document claiming "ok" over a failed guard must not
+    # load: status is always re-derived from guards and error.
+    failing = _ok_result(metrics=(
+        Metric(name="cold.cells_per_s", value=12.5, unit="cells/s",
+               guards=(GuardCheck("min_elapsed", False, "too fast"),)),
+    ))
+    document = failing.to_dict()
+    assert document["status"] == "invalid"
+    document["status"] = "ok"
+    path = tmp_path / "BENCH_table1.json"
+    path.write_text(json.dumps(document))
+    with pytest.raises(BenchError, match="contradicts"):
+        load_bench(path)
+
+
+def test_guard_failure_makes_metric_and_result_invalid():
+    result = _ok_result(metrics=(
+        Metric(name="warm.cells_per_s", value=900.0, unit="cells/s",
+               guards=(GuardCheck("no_hidden_work", False, "cells = 3"),)),
+    ))
+    assert result.metrics[0].status == "invalid"
+    assert not result.metrics[0].valid
+    assert result.status == "invalid"
+    assert not result.ok
+    assert "INVALID" in result.render()
+    assert "no_hidden_work FAILED" in result.render()
+
+
+def test_error_makes_result_failed_even_with_clean_metrics():
+    result = _ok_result().failed("daemon unreachable after load")
+    assert result.status == "failed"
+    assert "daemon unreachable" in result.render()
+
+
+def test_invalid_area_and_kind_and_direction_rejected():
+    with pytest.raises(BenchError, match="area"):
+        _ok_result(area="Table 1!")
+    with pytest.raises(BenchError, match="kind"):
+        _ok_result(kind="loadtest")
+    with pytest.raises(BenchError, match="direction"):
+        Metric(name="x", value=1.0, unit="s", direction="sideways")
+    with pytest.raises(BenchError):
+        bench_filename("BAD AREA")
+    assert bench_filename("serve") == "BENCH_serve.json"
+
+
+def test_load_missing_and_malformed_paths(tmp_path):
+    with pytest.raises(BenchError, match="no such"):
+        load_bench(tmp_path / "BENCH_nope.json")
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(BenchError, match="not valid JSON"):
+        load_bench(bad)
+    notdict = tmp_path / "BENCH_list.json"
+    notdict.write_text("[1, 2]")
+    with pytest.raises(BenchError, match="JSON object"):
+        load_bench(notdict)

@@ -1,0 +1,115 @@
+"""Histogram support across the obs stack: registry, exposition, schema,
+flush, and the module-level observe() fast path."""
+
+import json
+import math
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Collector,
+    collecting,
+    observe,
+)
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import validate_event
+from repro.obs.tracer import SCHEMA_VERSION
+
+
+def test_observe_accumulates_cumulative_buckets():
+    registry = MetricsRegistry()
+    registry.observe("lat", 0.003, buckets=(0.001, 0.01, 0.1))
+    registry.observe("lat", 0.05)          # bounds fixed by the first call
+    registry.observe("lat", 7.0)           # lands only in +Inf
+    snapshot = registry.histogram("lat")
+    assert snapshot.buckets == (0.001, 0.01, 0.1)
+    assert snapshot.bucket_counts == (0, 1, 2)
+    assert snapshot.count == 3
+    assert math.isclose(snapshot.sum, 7.053)
+
+
+def test_observe_value_on_bucket_boundary_counts_as_le():
+    registry = MetricsRegistry()
+    registry.observe("lat", 0.01, buckets=(0.001, 0.01, 0.1))
+    assert registry.histogram("lat").bucket_counts == (0, 1, 1)
+
+
+def test_histogram_quantile_is_conservative_upper_bound():
+    registry = MetricsRegistry()
+    for value in (0.002, 0.002, 0.002, 0.05, 0.05, 0.05, 0.05, 0.05, 0.2, 9):
+        registry.observe("lat", value, buckets=(0.01, 0.1, 1.0))
+    snapshot = registry.histogram("lat")
+    assert snapshot.quantile(0.25) == 0.01
+    assert snapshot.quantile(0.5) == 0.1
+    assert snapshot.quantile(0.9) == 1.0
+    assert snapshot.quantile(0.99) == math.inf
+
+
+def test_histogram_quantile_of_empty_histogram_is_nan():
+    from repro.obs.metrics import HistogramSnapshot
+
+    empty = HistogramSnapshot(buckets=(1.0,), bucket_counts=(0,),
+                              sum=0.0, count=0)
+    assert math.isnan(empty.quantile(0.5))
+
+
+def test_histogram_missing_returns_none():
+    assert MetricsRegistry().histogram("never") is None
+    assert MetricsRegistry().histograms() == {}
+
+
+def test_render_prometheus_histogram_triplet():
+    registry = MetricsRegistry()
+    registry.observe("serve.request_latency_s", 0.003,
+                     buckets=(0.005, 0.25, 1.0))
+    registry.observe("serve.request_latency_s", 30.0)
+    text = render_prometheus(registry)
+    assert "# TYPE repro_serve_request_latency_s histogram" in text
+    assert 'repro_serve_request_latency_s_bucket{le="0.005"} 1' in text
+    assert 'repro_serve_request_latency_s_bucket{le="0.25"} 1' in text
+    assert 'repro_serve_request_latency_s_bucket{le="1"} 1' in text
+    assert 'repro_serve_request_latency_s_bucket{le="+Inf"} 2' in text
+    assert "repro_serve_request_latency_s_sum 30.003" in text
+    assert "repro_serve_request_latency_s_count 2" in text
+
+
+def test_module_level_observe_routes_to_installed_collector():
+    observe("noop.latency", 1.0)           # no collector: must be a no-op
+    with collecting() as collector:
+        observe("lat", 0.02)
+        observe("lat", 0.5)
+    snapshot = collector.metrics.histogram("lat")
+    assert snapshot.count == 2
+    assert snapshot.buckets == tuple(sorted(DEFAULT_BUCKETS))
+
+
+def test_flush_metrics_emits_valid_histogram_events():
+    events = []
+    collector = Collector(sink=events.append)
+    collector.metrics.observe("lat", 0.02, buckets=(0.01, 0.1))
+    collector.metrics.count("hits", 3)
+    collector.flush_metrics()
+    histogram_events = [e for e in events if e["type"] == "histogram"]
+    assert len(histogram_events) == 1
+    event = histogram_events[0]
+    assert event["v"] == SCHEMA_VERSION
+    assert event["name"] == "lat"
+    assert event["buckets"] == [0.01, 0.1]
+    assert event["bucket_counts"] == [0, 1]
+    assert event["count"] == 1
+    assert validate_event(event) == []      # must satisfy the JSONL schema
+    json.dumps(event)                       # and be JSON-serializable
+
+
+def test_schema_rejects_malformed_histogram_events():
+    base = {"v": SCHEMA_VERSION, "type": "histogram", "name": "lat",
+            "ts": 0.0, "sum": 1.0, "count": 2}
+    assert validate_event({**base, "buckets": [0.1],
+                           "bucket_counts": [1, 2]}) \
+        == ["buckets and bucket_counts length mismatch"]
+    # Cumulative counts must never decrease bucket to bucket.
+    assert validate_event({**base, "buckets": [0.1, 0.5],
+                           "bucket_counts": [2, 1]}) \
+        == ["bucket_counts not cumulative"]
+    assert validate_event({**base, "buckets": [0.1, 0.5],
+                           "bucket_counts": [1, 2]}) == []

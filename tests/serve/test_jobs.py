@@ -137,3 +137,38 @@ def test_job_ids_are_unique_and_ordered():
     assert first.id != second.id
     assert first.id.startswith("job-000001-")
     assert second.id.startswith("job-000002-")
+
+
+def test_durations_survive_wall_clock_steps():
+    # Regression test: durations used to be derived from time.time()
+    # deltas, so an NTP step mid-job corrupted wall_s/queue_wait_s.  The
+    # *_ts wall fields are display-only; elapsed math must come from the
+    # monotonic *_mono fields and be unaffected by any wall jump.
+    queue = JobQueue(maxsize=4)
+    job = queue.submit("evaluate", payload=1)
+    popped = queue.pop(timeout=0.1)
+    assert popped is job
+    time.sleep(0.02)
+    # Simulate NTP steps: the wall clock jumps hours in both directions
+    # between the recorded wall timestamps.
+    job.created_ts += 7200.0
+    job.started_ts -= 3600.0
+    queue.finish(job, JobState.DONE)
+    document = job.to_dict()
+    assert 0.02 <= document["wall_s"] < 5.0
+    assert 0.0 <= document["queue_wait_s"] < 5.0
+    # The display timestamps keep whatever the wall clock said.
+    assert job.created_ts > job.started_ts
+
+
+def test_queue_wait_and_run_are_none_until_reached():
+    queue = JobQueue(maxsize=4)
+    job = queue.submit("evaluate", payload=1)
+    assert job.queue_wait_s() is None
+    assert job.run_s() is None
+    assert "wall_s" not in job.to_dict()
+    queue.pop(timeout=0.1)
+    assert job.queue_wait_s() >= 0.0
+    assert job.run_s() is None
+    queue.finish(job, JobState.DONE)
+    assert job.run_s() >= 0.0
