@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.errors import PMUConfigError, RequestError, WorkloadError
+from repro.cpu.engine import DEFAULT_ENGINE, ENGINE_NAMES, validate_engine
 from repro.cpu.uarch import get_uarch
 from repro.core.cache import ArtifactCache, resolve_cache
 from repro.core.experiment import CellSpec, ExperimentConfig, Harness
@@ -53,6 +54,8 @@ from repro.workloads.registry import APP_NAMES, KERNEL_NAMES, get_workload
 
 __all__ = [
     "API_SCHEMA_VERSION",
+    "DEFAULT_ENGINE",
+    "ENGINE_NAMES",
     "ArtifactCache",
     "CampaignResult",
     "CampaignSpec",
@@ -116,11 +119,15 @@ class EvaluateRequest:
     scale: float = 1.0
     repeats: int = 5
     seed_base: int = 100
+    engine: str = DEFAULT_ENGINE
     schema_version: int = API_SCHEMA_VERSION
 
-    #: JSON field names, in canonical order.
+    #: JSON field names, in canonical order.  ``engine`` is additive and
+    #: defaulted: absent on the wire it resolves to the reference engine,
+    #: and :meth:`to_dict` omits it at the default, so pre-engine clients
+    #: see byte-identical responses — no ``API_SCHEMA_VERSION`` bump.
     FIELDS = ("machine", "workload", "method", "period", "scale",
-              "repeats", "seed_base", "schema_version")
+              "repeats", "seed_base", "engine", "schema_version")
 
     def validate(self) -> "EvaluateRequest":
         """Raise :class:`RequestError` unless every field is usable."""
@@ -156,6 +163,12 @@ class EvaluateRequest:
         if not isinstance(self.seed_base, int) or isinstance(self.seed_base,
                                                              bool):
             raise RequestError("seed_base must be an integer")
+        if not isinstance(self.engine, str):
+            raise RequestError("engine must be a string")
+        try:
+            validate_engine(self.engine)
+        except PMUConfigError as exc:
+            raise RequestError(str(exc)) from None
         return self
 
     def resolved(self) -> "EvaluateRequest":
@@ -168,7 +181,8 @@ class EvaluateRequest:
 
     def spec(self) -> CellSpec:
         """The cell this request addresses."""
-        return CellSpec(self.machine, self.workload, self.method, self.period)
+        return CellSpec(self.machine, self.workload, self.method, self.period,
+                        self.engine)
 
     def config(self) -> ExperimentConfig:
         """The experiment configuration this request implies."""
@@ -184,10 +198,15 @@ class EvaluateRequest:
         return cls(machine=spec.machine, workload=spec.workload,
                    method=spec.method, period=spec.period,
                    scale=config.scale, repeats=config.repeats,
-                   seed_base=config.seed_base)
+                   seed_base=config.seed_base, engine=spec.engine)
 
     def to_dict(self) -> dict[str, object]:
-        return {name: getattr(self, name) for name in self.FIELDS}
+        document = {name: getattr(self, name) for name in self.FIELDS}
+        # The default engine stays off the wire: responses for requests
+        # that never mentioned engines remain byte-identical.
+        if self.engine == DEFAULT_ENGINE:
+            del document["engine"]
+        return document
 
     @classmethod
     def from_dict(cls, data: object) -> "EvaluateRequest":
@@ -310,10 +329,11 @@ def run_table1(
     cache: CacheArg = None,
     methods: tuple[str, ...] = TABLE_METHOD_KEYS,
     workloads: tuple[str, ...] = KERNEL_NAMES,
+    engine: str = DEFAULT_ENGINE,
 ) -> TableResult:
     """Regenerate Table 1 (kernel accuracy errors)."""
     return build_table1(_harness(config, cache), methods=methods,
-                        workloads=workloads, jobs=jobs)
+                        workloads=workloads, jobs=jobs, engine=engine)
 
 
 def run_table2(
@@ -323,10 +343,11 @@ def run_table2(
     cache: CacheArg = None,
     methods: tuple[str, ...] = TABLE_METHOD_KEYS,
     workloads: tuple[str, ...] = APP_NAMES,
+    engine: str = DEFAULT_ENGINE,
 ) -> TableResult:
     """Regenerate Table 2 (application accuracy errors)."""
     return build_table2(_harness(config, cache), methods=methods,
-                        workloads=workloads, jobs=jobs)
+                        workloads=workloads, jobs=jobs, engine=engine)
 
 
 def evaluate_cell(
@@ -385,6 +406,11 @@ def table_document(table: TableResult) -> dict[str, object]:
                 "workload": spec.workload,
                 "method": spec.method,
                 "period": spec.period,
+                # Engine is provenance, not identity (results are
+                # bit-identical); the default stays off disk so existing
+                # documents round-trip unchanged.
+                **({} if spec.engine == DEFAULT_ENGINE
+                   else {"engine": spec.engine}),
                 "errors": None if stats is None else list(stats.errors),
             }
             for spec, stats in table.cells.items()
@@ -405,7 +431,8 @@ def table_from_document(document: dict[str, object]) -> TableResult:
     )
     for cell in document["cells"]:
         spec = CellSpec(cell["machine"], cell["workload"], cell["method"],
-                        cell["period"])
+                        cell["period"],
+                        cell.get("engine", DEFAULT_ENGINE))
         errors = cell["errors"]
         table.cells[spec] = (
             None if errors is None

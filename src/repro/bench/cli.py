@@ -47,6 +47,7 @@ def cmd_bench_run(args: argparse.Namespace, out: Emitter) -> int:
                        else args.min_elapsed),
         cache_dir=args.cache_dir,
         area=args.area,
+        engine=args.engine,
     )
     if args.out:
         path = save_bench(result, args.out)
@@ -144,6 +145,13 @@ def register_parsers(sub, add_obs_args) -> None:
                      help="seeded repeats per cell (default 1)")
     pbr.add_argument("--seed", type=int, default=100,
                      help="first seed of the repeat range (default 100)")
+    from repro.cpu.engine import DEFAULT_ENGINE, ENGINE_NAMES
+
+    pbr.add_argument("--engine", choices=ENGINE_NAMES,
+                     default=DEFAULT_ENGINE,
+                     help="execution back-end to measure (default "
+                          "'reference'; non-default engines write "
+                          "BENCH_<suite>_<engine>.json)")
     pbr.add_argument("--iterations", type=int, default=3, metavar="N",
                      help="measured passes per phase (default 3; the "
                           "headline value is their median)")

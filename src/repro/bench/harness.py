@@ -21,6 +21,12 @@ minimum-elapsed rules (PAPERS.md):
   the warm phase additionally proves the expensive path did *not* run.
   A violated guard marks the metric (and result) ``invalid`` — it is
   written to disk for forensics, never trusted by ``bench compare``.
+* **The meter measures the library, not the meter** — timed windows run
+  with the cyclic garbage collector paused (collect before, re-enable
+  after, the same hygiene ``timeit``/``pyperf`` apply) and with span
+  recording off (guard counters still aggregate).  Otherwise GC pauses
+  and tracer bookkeeping — costs no production caller pays by default —
+  show up as simulation-throughput noise.
 
 A measured iteration repeats its pass (fresh harness each round, so a
 cold round never warms itself) until the timed window clears
@@ -38,6 +44,7 @@ per-iteration samples kept in the document.
 
 from __future__ import annotations
 
+import gc
 import statistics
 import tempfile
 import time
@@ -55,6 +62,7 @@ from repro.bench.result import BenchResult, GuardCheck, Metric
 from repro.core.cache import ArtifactCache
 from repro.core.experiment import Harness
 from repro.core.methods import method_available
+from repro.cpu.engine import DEFAULT_ENGINE, validate_engine
 from repro.core.tables import TABLE_METHOD_KEYS
 from repro.cpu.uarch import get_uarch
 from repro.errors import BenchError
@@ -99,15 +107,29 @@ def _rate_metric(
 
 def _timed_window(run_pass, min_elapsed_s: float) -> tuple[float, int]:
     """Repeat ``run_pass`` until the window clears ``min_elapsed_s`` (or
-    :data:`MAX_ROUNDS`); returns the final ``(elapsed_s, rounds)``."""
-    started = time.perf_counter()
-    rounds = 0
-    while True:
-        run_pass()
-        rounds += 1
-        elapsed = time.perf_counter() - started
-        if elapsed >= min_elapsed_s or rounds >= MAX_ROUNDS:
-            return elapsed, rounds
+    :data:`MAX_ROUNDS`); returns the final ``(elapsed_s, rounds)``.
+
+    The cyclic garbage collector is paused for the duration of the window
+    (collect first, so no prior garbage is paid inside it): a GC cycle
+    landing in one round is several milliseconds of noise that belongs to
+    the process, not the measured pass.  Reference counting — the
+    allocation cost the library actually imposes — is still fully paid.
+    """
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        rounds = 0
+        while True:
+            run_pass()
+            rounds += 1
+            elapsed = time.perf_counter() - started
+            if elapsed >= min_elapsed_s or rounds >= MAX_ROUNDS:
+                return elapsed, rounds
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 def _build_requests(
@@ -118,6 +140,7 @@ def _build_requests(
     scale: float,
     repeats: int,
     seed_base: int,
+    engine: str,
 ) -> list[api.EvaluateRequest]:
     if workloads is None:
         workloads = KERNEL_NAMES if suite == "table1" else APP_NAMES
@@ -128,6 +151,7 @@ def _build_requests(
             requests.append(api.EvaluateRequest(
                 machine=machine, workload=workload, method=method,
                 scale=scale, repeats=repeats, seed_base=seed_base,
+                engine=engine,
             ).validate().resolved())
     return requests
 
@@ -159,6 +183,7 @@ def run_bench(
     min_elapsed_s: float = DEFAULT_MIN_ELAPSED_S,
     cache_dir: str | Path | None = None,
     area: str | None = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> BenchResult:
     """Measure one suite; returns a guarded :class:`BenchResult`.
 
@@ -166,7 +191,9 @@ def run_bench(
     cells), or ``sweep`` (a small campaign through
     :func:`repro.api.run_campaign`).  ``cache_dir`` hosts the warm phase's
     artifact cache (a temp directory when ``None``); ``area`` overrides
-    the result's area (defaults to the suite name).
+    the result's area (defaults to the suite name, suffixed ``_<engine>``
+    for non-default engines so baselines never cross-compare).  ``engine``
+    selects the execution back-end for every cell.
     """
     if suite not in SUITES:
         raise BenchError(f"unknown bench suite {suite!r} "
@@ -175,18 +202,24 @@ def run_bench(
         raise BenchError("iterations must be >= 1")
     if warmup < 0:
         raise BenchError("warmup must be >= 0")
+    try:
+        validate_engine(engine)
+    except Exception as exc:
+        raise BenchError(str(exc)) from None
+    if area is None:
+        area = suite if engine == DEFAULT_ENGINE else f"{suite}_{engine}"
     if suite == "sweep":
         return _run_sweep_bench(
             machine=machine, workloads=workloads, methods=methods,
             periods=periods, scale=scale, repeats=repeats,
             seed_base=seed_base, iterations=iterations, warmup=warmup,
-            min_elapsed_s=min_elapsed_s, area=area or suite,
+            min_elapsed_s=min_elapsed_s, area=area, engine=engine,
         )
     return _run_cell_bench(
         suite, machine=machine, workloads=workloads, methods=methods,
         scale=scale, repeats=repeats, seed_base=seed_base,
         iterations=iterations, warmup=warmup, min_elapsed_s=min_elapsed_s,
-        cache_dir=cache_dir, area=area or suite,
+        cache_dir=cache_dir, area=area, engine=engine,
     )
 
 
@@ -207,9 +240,10 @@ def _run_cell_bench(
     min_elapsed_s: float,
     cache_dir: str | Path | None,
     area: str,
+    engine: str,
 ) -> BenchResult:
     requests = _build_requests(suite, machine, workloads, methods,
-                               scale, repeats, seed_base)
+                               scale, repeats, seed_base, engine)
     uarch = get_uarch(machine)
     non_blank = sum(1 for r in requests if method_available(r.method, uarch))
 
@@ -218,6 +252,7 @@ def _run_cell_bench(
         "workloads": sorted({r.workload for r in requests}),
         "methods": sorted({r.method for r in requests}),
         "scale": scale, "repeats": repeats, "seed_base": seed_base,
+        "engine": engine,
         "iterations": iterations, "warmup": warmup,
         "min_elapsed_s": min_elapsed_s,
         "cells_total": len(requests), "cells_blank": len(requests) - non_blank,
@@ -254,7 +289,7 @@ def _run_cell_bench(
             # A fresh harness every round: a cold round must never warm
             # itself through in-process caches, and a warm round must hit
             # the persistent artifact cache, not a previous round's state.
-            with collecting() as collector:
+            with collecting(record_spans=False) as collector:
                 elapsed, rounds = _timed_window(
                     lambda: _evaluate_all(
                         requests, Harness(config_obj, cache=make_cache())
@@ -345,6 +380,7 @@ def _run_sweep_bench(
     warmup: int,
     min_elapsed_s: float,
     area: str,
+    engine: str,
 ) -> BenchResult:
     spec = api.CampaignSpec(
         name="bench-sweep",
@@ -355,13 +391,15 @@ def _run_sweep_bench(
         seed_counts=(repeats,),
         seed_base=seed_base,
         scale=scale,
+        engine=engine,
     )
     points = len(spec.expand())
     config: dict[str, Any] = {
         "suite": "sweep", "machine": machine,
         "workloads": list(spec.workloads), "methods": list(spec.methods),
         "periods": list(spec.periods), "scale": scale, "repeats": repeats,
-        "seed_base": seed_base, "iterations": iterations, "warmup": warmup,
+        "seed_base": seed_base, "engine": engine,
+        "iterations": iterations, "warmup": warmup,
         "min_elapsed_s": min_elapsed_s, "points": points,
     }
 
@@ -380,7 +418,7 @@ def _run_sweep_bench(
             one_campaign()
         runs = []
         for i in range(iterations):
-            with collecting() as collector:
+            with collecting(record_spans=False) as collector:
                 window = _timed_window(one_campaign, min_elapsed_s)
             runs.append((*window, collector.metrics.counters()))
             _log.debug("bench sweep pass %d/%d: %.3fs (%d rounds)",

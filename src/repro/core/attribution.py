@@ -23,7 +23,7 @@ def block_of_samples(batch: SampleBatch) -> np.ndarray:
     exactly the address-to-block mapping a profiler performs against the
     binary's symbol information.
     """
-    return batch.execution.trace.instr_block[batch.reported_idx].astype(np.int64)
+    return batch.execution.trace.blocks_at(batch.reported_idx).astype(np.int64)
 
 
 def attribute_plain(batch: SampleBatch, method: str = "plain") -> Profile:

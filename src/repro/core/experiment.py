@@ -17,8 +17,8 @@ from typing import Callable
 
 import numpy as np
 
-from repro.cpu.interpreter import run_program
-from repro.cpu.machine import Execution, Machine
+from repro.cpu.engine import DEFAULT_ENGINE, Engine, get_engine
+from repro.cpu.machine import Execution
 from repro.cpu.trace import Trace
 from repro.cpu.uarch import ALL_UARCHES, get_uarch
 from repro.instrumentation.reference import ReferenceCounts, collect_reference
@@ -42,12 +42,18 @@ class CellSpec:
     is frozen and contains only strings/ints, so it hashes, pickles, and
     crosses process boundaries unchanged — it is the unit the parallel
     scheduler dispatches.
+
+    ``engine`` selects the execution back-end (:mod:`repro.cpu.engine`);
+    it addresses *how* the cell is computed, never *what* — both engines
+    produce bit-identical sample streams (enforced by the differential
+    suite), so persistent cache digests stay engine-free.
     """
 
     machine: str
     workload: str
     method: str
     period: int | None = None
+    engine: str = DEFAULT_ENGINE
 
     def resolved(self, period: int) -> "CellSpec":
         """This spec with a concrete period filled in."""
@@ -57,7 +63,8 @@ class CellSpec:
 
     def __str__(self) -> str:
         suffix = "" if self.period is None else f"@{self.period}"
-        return f"{self.machine}/{self.workload}/{self.method}{suffix}"
+        tag = "" if self.engine == DEFAULT_ENGINE else f"+{self.engine}"
+        return f"{self.machine}/{self.workload}/{self.method}{suffix}{tag}"
 
 
 @dataclass(frozen=True)
@@ -78,17 +85,26 @@ class ExperimentConfig:
         return range(self.seed_base, self.seed_base + self.repeats)
 
 
-def build_trace(workload_name: str, scale: float = 1.0) -> Trace:
+def build_trace(
+    workload_name: str,
+    scale: float = 1.0,
+    engine: str | Engine = DEFAULT_ENGINE,
+    program=None,
+) -> Trace:
     """Interpret one workload into its (microarchitecture-neutral) trace.
 
     The dynamic block sequence depends only on the program, never on a
     machine (see DESIGN.md: all three machines differ only in timing and
-    PMU features), so no uarch participates here.
+    PMU features), so no uarch participates here.  This is the one
+    trace-building helper: :meth:`Harness.trace` routes through it too, so
+    every caller picks its back-end the same way.  ``engine`` is a registry
+    name or a live :class:`~repro.cpu.engine.Engine` instance; ``program``
+    short-circuits the workload build when the caller already holds one.
     """
-    workload = get_workload(workload_name)
-    program = workload.build(scale=scale)
-    result = run_program(program)
-    return Trace(program, result.block_seq)
+    resolved = get_engine(engine) if isinstance(engine, str) else engine
+    if program is None:
+        program = resolved.program(workload_name, scale)
+    return resolved.trace(program)
 
 
 class Harness:
@@ -108,6 +124,21 @@ class Harness:
         self._traces: dict[str, Trace] = {}
         self._references: dict[str, ReferenceCounts] = {}
         self._cells: dict[CellSpec, AccuracyStats] = {}
+        self._engines: dict[str, Engine] = {}
+
+    # -- engines -----------------------------------------------------------
+
+    def engine(self, name: str = DEFAULT_ENGINE) -> Engine:
+        """The harness's shared engine instance for ``name``.
+
+        Engines may share executions across calls (the fast engine does),
+        so each harness holds one instance per name — sharing stays
+        harness-local and never leaks across benchmark rounds.
+        """
+        engine = self._engines.get(name)
+        if engine is None:
+            engine = self._engines[name] = get_engine(name)
+        return engine
 
     # -- cache keys --------------------------------------------------------
 
@@ -131,14 +162,20 @@ class Harness:
 
     # -- artifacts ---------------------------------------------------------
 
-    def trace(self, workload_name: str) -> Trace:
-        """The (cached) dynamic trace of one workload at the config scale."""
+    def trace(
+        self, workload_name: str, engine: str = DEFAULT_ENGINE
+    ) -> Trace:
+        """The (cached) dynamic trace of one workload at the config scale.
+
+        Both in-process and persistent trace caches are engine-agnostic:
+        engines are bit-identical by contract, so whichever one built the
+        sequence first serves every later request.
+        """
         if workload_name not in self._traces:
+            resolved = self.engine(engine)
             with span("workload", workload=workload_name,
                       scale=self.config.scale):
-                program = get_workload(workload_name).build(
-                    scale=self.config.scale
-                )
+                program = resolved.program(workload_name, self.config.scale)
                 block_seq = None
                 if self.cache is not None:
                     digest = self._trace_digest(workload_name)
@@ -154,18 +191,28 @@ class Harness:
                                 and int(candidate.min()) >= 0):
                             block_seq = candidate.astype(np.int32)
                 if block_seq is None:
-                    block_seq = run_program(program).block_seq
+                    trace = build_trace(workload_name, self.config.scale,
+                                        engine=resolved, program=program)
                     if self.cache is not None:
                         self.cache.put_arrays(
                             "trace", self._trace_digest(workload_name),
-                            block_seq=block_seq,
+                            block_seq=trace.block_seq,
                         )
-            self._traces[workload_name] = Trace(program, block_seq)
+                else:
+                    trace = Trace(program, block_seq)
+            self._traces[workload_name] = trace
         return self._traces[workload_name]
 
-    def execution(self, machine_name: str, workload_name: str) -> Execution:
+    def execution(
+        self,
+        machine_name: str,
+        workload_name: str,
+        engine: str = DEFAULT_ENGINE,
+    ) -> Execution:
         """The workload observed on one machine (trace shared)."""
-        return Machine(get_uarch(machine_name)).attach(self.trace(workload_name))
+        return self.engine(engine).execution(
+            get_uarch(machine_name), self.trace(workload_name, engine=engine)
+        )
 
     def reference(self, workload_name: str) -> ReferenceCounts:
         """Exact instrumentation counts for one workload."""
@@ -232,14 +279,17 @@ class Harness:
                 self._cells[spec] = stats
                 return stats
         with span("cell", machine=spec.machine, workload=spec.workload,
-                  method=spec.method, period=spec.period):
+                  method=spec.method, period=spec.period,
+                  engine=spec.engine):
             stats = evaluate_method(
-                self.execution(spec.machine, spec.workload),
+                self.execution(spec.machine, spec.workload,
+                               engine=spec.engine),
                 spec.method,
                 spec.period,
                 seeds=self.config.seeds,
                 reference=self.reference(spec.workload),
                 abort=abort,
+                engine=self.engine(spec.engine),
             )
         count("harness.cells_evaluated")
         self._cells[spec] = stats

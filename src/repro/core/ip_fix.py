@@ -39,15 +39,15 @@ def corrected_blocks(batch: SampleBatch) -> np.ndarray:
     program = batch.execution.program
     tables = program.tables
 
-    blocks = trace.instr_block[batch.reported_idx].astype(np.int64)
-    addrs = trace.addresses[batch.reported_idx]
+    blocks = trace.blocks_at(batch.reported_idx).astype(np.int64)
+    addrs = trace.addresses_at(batch.reported_idx)
     at_start = addrs == tables.block_start_addr[blocks]
 
     start, end = batch.lbr_ranges
     has_top = end > start
     top_idx = np.maximum(end - 1, 0)
-    top_tgt = trace.taken_targets[top_idx]
-    top_src = trace.taken_sources[top_idx]
+    top_tgt = trace.taken_targets_at(top_idx)
+    top_src = trace.taken_sources_at(top_idx)
 
     via_branch = at_start & has_top & (top_tgt == addrs)
     via_fallthrough = at_start & ~via_branch

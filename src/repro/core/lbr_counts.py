@@ -47,8 +47,8 @@ def lbr_block_exec_counts(batch: SampleBatch) -> np.ndarray:
     seg_pos -= np.repeat(np.cumsum(seg_counts) - seg_counts, seg_counts)
     first_entry = start[sample_of_seg] + seg_pos
 
-    seg_targets = trace.taken_targets[first_entry]
-    seg_sources = trace.taken_sources[first_entry + 1]
+    seg_targets = trace.taken_targets_at(first_entry)
+    seg_sources = trace.taken_sources_at(first_entry + 1)
 
     first_block = program.block_indices_at(seg_targets)
     last_block = program.block_indices_at(seg_sources)

@@ -240,6 +240,14 @@ def method_available(key: str, uarch: Microarchitecture) -> bool:
     return True
 
 
+#: Memoized resolutions keyed by ``(key, id(uarch), base_period)``.  The
+#: value keeps a strong reference to its uarch so the id can never be
+#: recycled while the entry lives.  Safe because resolution is pure over
+#: immutable inputs (``ResolvedMethod`` and everything inside is frozen).
+_RESOLVE_CACHE: dict[tuple, tuple[Microarchitecture, ResolvedMethod]] = {}
+_RESOLVE_CACHE_CAP = 256
+
+
 def resolve_method(
     key: str, uarch: Microarchitecture, base_period: int
 ) -> ResolvedMethod:
@@ -248,6 +256,20 @@ def resolve_method(
     ``base_period`` is the round period (the paper's 2,000,000, scaled);
     prime-period methods use the next prime above it (2,000,003-style).
     """
+    cache_key = (key, id(uarch), base_period)
+    hit = _RESOLVE_CACHE.get(cache_key)
+    if hit is not None:
+        return hit[1]
+    resolved = _resolve_method(key, uarch, base_period)
+    if len(_RESOLVE_CACHE) >= _RESOLVE_CACHE_CAP:
+        _RESOLVE_CACHE.pop(next(iter(_RESOLVE_CACHE)))
+    _RESOLVE_CACHE[cache_key] = (uarch, resolved)
+    return resolved
+
+
+def _resolve_method(
+    key: str, uarch: Microarchitecture, base_period: int
+) -> ResolvedMethod:
     spec = get_method(key)
     event = _resolve_event(spec.family, uarch)
     if spec.collect_lbr and not uarch.has_lbr:

@@ -55,6 +55,7 @@ def run_method(
     rng: np.random.Generator | int | None = None,
     normalize: bool = True,
     resolved: ResolvedMethod | None = None,
+    engine=None,
 ) -> tuple[Profile, SampleBatch]:
     """Collect and post-process one profiling run.
 
@@ -67,6 +68,11 @@ def run_method(
     parallel runs would diverge from serial ones.  It derives a
     deterministic per-cell seed (:func:`cell_seed`) instead; pass a seeded
     generator (as :func:`evaluate_method` does) for repeat-level control.
+
+    ``engine`` (an :class:`~repro.cpu.engine.Engine` instance, or ``None``
+    for the reference path) supplies the sample collector; every engine's
+    batches are bit-identical, so the profile and errors never depend on
+    the choice.
     """
     if rng is None:
         rng = np.random.default_rng(cell_seed(
@@ -81,7 +87,9 @@ def run_method(
               machine=execution.uarch.name,
               workload=execution.program.name,
               period=base_period):
-        batch = Sampler(execution).collect(resolved.config, rng)
+        collector = (Sampler(execution) if engine is None
+                     else engine.sampler(execution))
+        batch = collector.collect(resolved.config, rng)
         profile = _ATTRIBUTORS[resolved.attribution](batch, method=method_key)
         # A run too short to deliver any sample yields an honest all-zero
         # profile (its error against the reference is 1.0) — there is nothing
@@ -99,6 +107,7 @@ def evaluate_method(
     normalize: bool = True,
     reference: ReferenceCounts | None = None,
     abort: Callable[[], bool] | None = None,
+    engine=None,
 ) -> AccuracyStats:
     """Score one method over repeated runs (the paper's five repeats).
 
@@ -110,6 +119,9 @@ def evaluate_method(
     granularity that cannot perturb results — each repeat is seeded
     independently); a truthy return raises :class:`EvaluationAborted`, so
     long-running service jobs stop burning CPU once their deadline passes.
+
+    ``engine`` is forwarded to :func:`run_method`; errors are identical
+    for every engine (bit-identical sample batches).
     """
     if reference is None:
         with span("reference", workload=execution.program.name):
@@ -125,7 +137,7 @@ def evaluate_method(
         profile, _ = run_method(
             execution, method_key, base_period,
             rng=np.random.default_rng(seed), normalize=normalize,
-            resolved=resolved,
+            resolved=resolved, engine=engine,
         )
         with span("score", method=method_key):
             errors.append(profile_error(profile, reference).error)

@@ -13,10 +13,10 @@ LBR on Magny-Cours) render as ``--``.
 from __future__ import annotations
 
 import logging
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.cpu.engine import DEFAULT_ENGINE
 from repro.obs import span
 from repro.obs.log import get_logger
 from repro.core.experiment import CellSpec, Harness
@@ -52,28 +52,15 @@ class TableResult:
     def get(
         self, machine: str, workload: str, method: str
     ) -> AccuracyStats | None:
-        """Compatibility accessor: look a cell up ignoring the period.
+        """Look a cell up ignoring the period (and engine).
 
         Cells are keyed by :class:`CellSpec`; this scans for the first spec
         matching (machine, workload, method), which is unique in tables
-        built by this module (one period per workload).  Legacy 3-/4-tuple
-        keys are still accepted but deprecated (see DESIGN.md §3): they
-        emit a :class:`DeprecationWarning` pointing at :class:`CellSpec`
-        and will stop matching in a future release.
+        built by this module (one period per workload).
         """
         wanted = (machine, workload, method)
         for key, stats in self.cells.items():
-            if isinstance(key, CellSpec):
-                ident = (key.machine, key.workload, key.method)
-            else:
-                warnings.warn(
-                    "TableResult.cells keyed by plain tuples is deprecated; "
-                    "key cells by repro.core.experiment.CellSpec instead",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
-                ident = tuple(key)[:3]
-            if ident == wanted:
+            if (key.machine, key.workload, key.method) == wanted:
                 return stats
         return None
 
@@ -143,6 +130,7 @@ def _build_table(
     methods: tuple[str, ...],
     jobs: int = 1,
     abort: Callable[[], bool] | None = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> TableResult:
     machines = harness.config.machines
     result = TableResult(
@@ -152,7 +140,8 @@ def _build_table(
     )
     progress = get_logger("progress")
     live = progress.isEnabledFor(logging.INFO)
-    specs = plan_cells(harness.config, workloads, methods, harness=harness)
+    specs = plan_cells(harness.config, workloads, methods, harness=harness,
+                       engine=engine)
 
     def on_result(spec, stats, seconds, done, total):
         if live:
@@ -180,6 +169,7 @@ def build_table1(
     workloads: tuple[str, ...] = KERNEL_NAMES,
     jobs: int = 1,
     abort: Callable[[], bool] | None = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> TableResult:
     """Table 1: sampling-method errors on the kernels (lower is better)."""
     return _build_table(
@@ -189,6 +179,7 @@ def build_table1(
         methods,
         jobs=jobs,
         abort=abort,
+        engine=engine,
     )
 
 
@@ -198,6 +189,7 @@ def build_table2(
     workloads: tuple[str, ...] = APP_NAMES,
     jobs: int = 1,
     abort: Callable[[], bool] | None = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> TableResult:
     """Table 2: errors per machine/application (lower is better)."""
     return _build_table(
@@ -207,6 +199,7 @@ def build_table2(
         methods,
         jobs=jobs,
         abort=abort,
+        engine=engine,
     )
 
 

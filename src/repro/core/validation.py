@@ -86,7 +86,7 @@ def diagnose_batch(batch: SampleBatch) -> BatchDiagnostics:
     _, counts = np.unique(addresses, return_counts=True)
     program = batch.execution.program
     blocks = np.unique(
-        batch.execution.trace.instr_block[batch.reported_idx]
+        batch.execution.trace.blocks_at(batch.reported_idx)
     )
     return BatchDiagnostics(
         num_samples=n,

@@ -27,22 +27,41 @@ from repro.cpu.trace import Trace
 from repro.isa.block import BlockKind
 
 
-def _grouped_prev(values: np.ndarray, groups: np.ndarray, lag: int) -> np.ndarray:
-    """``values`` lagged by ``lag`` within each group (stable group order).
+def _grouped_prevs(
+    values: np.ndarray, groups: np.ndarray, lags: tuple[int, ...]
+) -> list[np.ndarray]:
+    """``values`` lagged by each ``lag`` within each group (stable order).
 
     Entries without ``lag`` predecessors in their group are returned as -1.
-    ``values`` must be non-negative.
+    ``values`` must be non-negative and of a *signed* integer dtype (the
+    -1 sentinel lives in the same dtype).  All lags share one stable sort;
+    group ids that fit in 16 bits (every real program — ids are block
+    indices) take NumPy's radix path, which is O(n) instead of O(n log n).
     """
-    order = np.argsort(groups, kind="stable")
-    inv = np.empty_like(order)
-    inv[order] = np.arange(order.size)
-    sorted_groups = groups[order]
+    if groups.size and int(groups.max()) <= np.iinfo(np.int16).max:
+        keys = groups.astype(np.int16)
+    else:  # pragma: no cover - >32k static branch sites
+        keys = groups
+    order = np.argsort(keys, kind="stable")
+    sorted_groups = keys[order]
     sorted_values = values[order]
-    prev = np.full(values.size, -1, dtype=np.int64)
-    if values.size > lag:
-        same_group = sorted_groups[lag:] == sorted_groups[:-lag]
-        prev[lag:][same_group] = sorted_values[:-lag][same_group]
-    return prev[inv]
+    outs = []
+    for lag in lags:
+        sorted_prev = np.full(values.size, -1, dtype=values.dtype)
+        if values.size > lag:
+            same_group = sorted_groups[lag:] == sorted_groups[:-lag]
+            sorted_prev[lag:][same_group] = sorted_values[:-lag][same_group]
+        # Scatter back to trace order (cheaper than building the inverse
+        # permutation and gathering through it).
+        prev = np.empty_like(sorted_prev)
+        prev[order] = sorted_prev
+        outs.append(prev)
+    return outs
+
+
+def _grouped_prev(values: np.ndarray, groups: np.ndarray, lag: int) -> np.ndarray:
+    """``values`` lagged by ``lag`` within each group (stable group order)."""
+    return _grouped_prevs(values, groups, (lag,))[0]
 
 
 class BranchPredictor:
@@ -55,19 +74,17 @@ class BranchPredictor:
     def occurrence_mispredicts(self) -> np.ndarray:
         """Bool per block occurrence: its terminator mispredicted."""
         trace = self.trace
-        tables = trace.program.tables
         seq = trace.block_seq
-        kinds = tables.block_kind[seq]
+        kinds = trace.occurrence_kinds
         mis = np.zeros(seq.size, dtype=bool)
 
         # Conditional branches: compare the outcome to the last two outcomes
         # of the same static branch.
-        cond = np.flatnonzero(kinds == int(BlockKind.COND))
+        cond = trace._cond_occurrences
         if cond.size:
-            outcome = trace.occurrence_taken[cond].astype(np.int64)
-            sites = seq[cond].astype(np.int64)
-            prev1 = _grouped_prev(outcome, sites, 1)
-            prev2 = _grouped_prev(outcome, sites, 2)
+            outcome = trace.occurrence_taken[cond].astype(np.int8)
+            sites = seq[cond]
+            prev1, prev2 = _grouped_prevs(outcome, sites, (1, 2))
             cond_mis = (outcome != prev1) & (outcome != prev2)
             mis[cond] = cond_mis
 
@@ -76,8 +93,8 @@ class BranchPredictor:
         if icall.size:
             # Target = the next block occurrence; the final occurrence has
             # no successor but an ICALL can never be final (its callee runs).
-            targets = seq[icall + 1].astype(np.int64)
-            sites = seq[icall].astype(np.int64)
+            targets = seq[icall + 1]
+            sites = seq[icall]
             prev = _grouped_prev(targets, sites, 1)
             mis[icall] = targets != prev
 
@@ -86,9 +103,7 @@ class BranchPredictor:
     @cached_property
     def mispredict_positions(self) -> np.ndarray:
         """Trace indices of mispredicted branch instructions (int64)."""
-        trace = self.trace
-        ends = trace.occurrence_starts + trace.occurrence_sizes - 1
-        return ends[self.occurrence_mispredicts]
+        return self.trace.occurrence_ends[self.occurrence_mispredicts]
 
     @cached_property
     def mispredict_count(self) -> int:
@@ -96,8 +111,7 @@ class BranchPredictor:
 
     def mispredict_rate(self) -> float:
         """Mispredicts per conditional-or-indirect branch occurrence."""
-        tables = self.trace.program.tables
-        kinds = tables.block_kind[self.trace.block_seq]
+        kinds = self.trace.occurrence_kinds
         predictable = np.isin(
             kinds, [int(BlockKind.COND), int(BlockKind.ICALL)]
         ).sum()

@@ -21,11 +21,13 @@ from repro.isa.block import BlockKind
 from repro.isa.program import Program
 from repro.obs import count
 
-_ALWAYS_TAKEN_KINDS = np.array(
-    [int(BlockKind.JMP), int(BlockKind.CALL), int(BlockKind.ICALL),
-     int(BlockKind.RET)],
-    dtype=np.int8,
-)
+#: Control-transfer kinds occupy the contiguous value range JMP..RET (with
+#: COND in the middle); a range compare beats both ``np.isin`` and a LUT
+#: gather on the hot occurrence-level path.  COND occurrences are fully
+#: overwritten by the taken computation, so marking them "always taken"
+#: in the first step is harmless.
+_TRANSFER_LO = int(BlockKind.JMP)
+_TRANSFER_HI = int(BlockKind.RET)
 
 
 class Trace:
@@ -49,25 +51,50 @@ class Trace:
 
     @cached_property
     def occurrence_sizes(self) -> np.ndarray:
-        """Instructions per dynamic block occurrence (int64)."""
-        return self.program.tables.block_sizes[self.block_seq].astype(np.int64)
+        """Instructions per dynamic block occurrence (int64).
+
+        The static per-block sizes are widened *before* the gather so the
+        occurrence-length result needs no second pass.
+        """
+        return self.program.tables.block_sizes.astype(np.int64)[self.block_seq]
+
+    @cached_property
+    def _occ_cumsizes(self) -> np.ndarray:
+        """Inclusive size prefix per occurrence (int64); starts, ends, and
+        the instruction total are all one vector op away from it."""
+        return np.cumsum(self.occurrence_sizes)
 
     @cached_property
     def occurrence_starts(self) -> np.ndarray:
         """Trace index of the first instruction of each occurrence (int64)."""
-        sizes = self.occurrence_sizes
-        starts = np.empty_like(sizes)
-        starts[0] = 0
-        np.cumsum(sizes[:-1], out=starts[1:])
-        return starts
+        return self._occ_cumsizes - self.occurrence_sizes
+
+    @cached_property
+    def occurrence_ends(self) -> np.ndarray:
+        """Trace index of the last instruction of each occurrence (int64)."""
+        return self._occ_cumsizes - 1
+
+    @cached_property
+    def occurrence_kinds(self) -> np.ndarray:
+        """Terminator :class:`BlockKind` value per occurrence.
+
+        One shared gather — the taken/prediction/retirement layers all key
+        off it.
+        """
+        return self.program.tables.block_kind[self.block_seq]
 
     @cached_property
     def num_instructions(self) -> int:
         """Total retired instructions."""
-        total = int(self.occurrence_sizes.sum())
+        total = int(self._occ_cumsizes[-1])
         # Once per trace (cached property), not per access.
         count("trace.instructions", total)
         return total
+
+    @cached_property
+    def _cond_occurrences(self) -> np.ndarray:
+        """Occurrence indices ending in a conditional branch (int64)."""
+        return np.flatnonzero(self.occurrence_kinds == int(BlockKind.COND))
 
     @cached_property
     def occurrence_taken(self) -> np.ndarray:
@@ -80,14 +107,17 @@ class Trace:
         """
         tables = self.program.tables
         seq = self.block_seq
-        kinds = tables.block_kind[seq]
-        taken = np.isin(kinds, _ALWAYS_TAKEN_KINDS)
-        cond = kinds == int(BlockKind.COND)
-        if cond.any():
-            nxt = np.empty_like(seq)
-            nxt[:-1] = seq[1:]
-            nxt[-1] = -1
-            taken = taken | (cond & (nxt != tables.fall_next[seq]))
+        kinds = self.occurrence_kinds
+        taken = (kinds >= _TRANSFER_LO) & (kinds <= _TRANSFER_HI)
+        ct = self._cond_occurrences
+        if ct.size:
+            # Resolve takenness only at conditional occurrences (a small
+            # subset) instead of gathering successors trace-wide.  The
+            # final occurrence, if conditional, compares against itself
+            # here — and is then unconditionally marked not taken below.
+            sites = seq[ct]
+            nxt = seq[np.minimum(ct + 1, seq.size - 1)]
+            taken[ct] = nxt != tables.fall_next[sites]
         taken[-1] = False
         return taken
 
@@ -97,6 +127,32 @@ class Trace:
     def instr_block(self) -> np.ndarray:
         """Block index of each retired instruction (int32)."""
         return np.repeat(self.block_seq, self.occurrence_sizes)
+
+    # -- point lookups (no per-instruction materialization) ------------------
+    #
+    # ``blocks_at``/``addresses_at`` answer per-sample questions straight from
+    # the occurrence tables; they match ``instr_block[idx]``/``addresses[idx]``
+    # exactly but cost O(samples · log occurrences) instead of building the
+    # full per-instruction arrays — the property the fast engine's O(samples)
+    # sampling relies on.
+
+    def _occurrence_of(self, idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(occurrence index, within-occurrence offset) per trace index."""
+        idx = np.asarray(idx, dtype=np.int64)
+        k = np.searchsorted(self.occurrence_starts, idx, side="right") - 1
+        return k, idx - self.occurrence_starts[k]
+
+    def blocks_at(self, idx: np.ndarray) -> np.ndarray:
+        """Block index of the given retired instructions (int32)."""
+        k, _ = self._occurrence_of(idx)
+        return self.block_seq[k]
+
+    def addresses_at(self, idx: np.ndarray) -> np.ndarray:
+        """Virtual address of the given retired instructions (int64)."""
+        tables = self.program.tables
+        k, within = self._occurrence_of(idx)
+        pool = tables.instr_offset[self.block_seq[k]] + within
+        return tables.pool_addr[pool]
 
     @cached_property
     def _pool_index(self) -> np.ndarray:
@@ -133,11 +189,15 @@ class Trace:
     # -- taken-branch records (the LBR's raw material) -----------------------
 
     @cached_property
+    def _taken_occurrences(self) -> np.ndarray:
+        """Occurrence indices ending in a taken branch (int64)."""
+        return np.flatnonzero(self.occurrence_taken)
+
+    @cached_property
     def taken_mask(self) -> np.ndarray:
         """Bool per instruction: retired as a taken branch."""
         mask = np.zeros(self.num_instructions, dtype=bool)
-        ends = self.occurrence_starts + self.occurrence_sizes - 1
-        mask[ends[self.occurrence_taken]] = True
+        mask[self.taken_positions] = True
         return mask
 
     @cached_property
@@ -148,13 +208,17 @@ class Trace:
     @cached_property
     def taken_positions(self) -> np.ndarray:
         """Trace indices of taken branches, ascending (int64)."""
-        ends = self.occurrence_starts + self.occurrence_sizes - 1
-        return ends[self.occurrence_taken]
+        return self.occurrence_ends[self._taken_occurrences]
 
     @cached_property
     def taken_sources(self) -> np.ndarray:
-        """Source address of each taken branch (int64)."""
-        return self.addresses[self.taken_positions]
+        """Source address of each taken branch (int64).
+
+        The source is always an occurrence's terminator, so its pool index
+        follows directly from the occurrence tables — no occurrence search
+        (``addresses_at``) needed.
+        """
+        return self.taken_sources_at(slice(None))
 
     @cached_property
     def taken_targets(self) -> np.ndarray:
@@ -162,8 +226,24 @@ class Trace:
 
         The target is the start address of the *next* block occurrence.
         """
+        return self.taken_targets_at(slice(None))
+
+    def taken_sources_at(self, idx) -> np.ndarray:
+        """``taken_sources[idx]`` without materializing the full array.
+
+        Attribution touches only the taken branches recorded in sampled LBR
+        stacks — a few hundred — so gathering per index keeps that path
+        O(samples) instead of O(taken branches).
+        """
         tables = self.program.tables
-        occ_idx = np.flatnonzero(self.occurrence_taken)
+        blocks = self.block_seq[self._taken_occurrences[idx]]
+        pool = tables.instr_offset[blocks] + tables.block_sizes[blocks] - 1
+        return tables.pool_addr[pool]
+
+    def taken_targets_at(self, idx) -> np.ndarray:
+        """``taken_targets[idx]`` without materializing the full array."""
+        tables = self.program.tables
+        occ_idx = self._taken_occurrences[idx]
         return tables.block_start_addr[self.block_seq[occ_idx + 1]]
 
     @cached_property

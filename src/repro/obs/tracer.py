@@ -70,15 +70,21 @@ class Collector:
     max_spans:
         In-memory retention cap; spans beyond it still stream to the sink
         but are not kept for tree rendering (``dropped_spans`` counts them).
+    record_spans:
+        When false, :func:`span` returns the shared no-op span while
+        counters/gauges still aggregate — the mode timed benchmark windows
+        use so the meter does not measure the tracer.
     """
 
     def __init__(
         self,
         sink: Callable[[dict[str, Any]], None] | None = None,
         max_spans: int = 100_000,
+        record_spans: bool = True,
     ) -> None:
         self.sink = sink
         self.max_spans = max_spans
+        self.record_spans = record_spans
         self.spans: list[SpanRecord] = []
         self.dropped_spans = 0
         self.metrics = MetricsRegistry()
@@ -295,7 +301,7 @@ def enabled() -> bool:
 def span(name: str, **attrs: Any) -> Span | NullSpan:
     """Open a (nestable) span context; a shared no-op when disabled."""
     collector = _collector
-    if collector is None:
+    if collector is None or not collector.record_spans:
         return _NULL_SPAN
     return Span(collector, name, attrs)
 
@@ -326,9 +332,11 @@ def observe(name: str, value: int | float,
 def collecting(
     sink: Callable[[dict[str, Any]], None] | None = None,
     max_spans: int = 100_000,
+    record_spans: bool = True,
 ) -> Iterator[Collector]:
     """Install a fresh collector for the duration of a ``with`` block."""
-    collector = Collector(sink=sink, max_spans=max_spans)
+    collector = Collector(sink=sink, max_spans=max_spans,
+                          record_spans=record_spans)
     previous = install(collector)
     try:
         yield collector

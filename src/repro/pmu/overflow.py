@@ -71,5 +71,8 @@ def triggers_for(
     if kind is EventKind.UOPS:
         return np.searchsorted(trace.cumulative_uops, thresholds, side="left")
     if kind is EventKind.TAKEN_BRANCHES:
-        return np.searchsorted(trace.cumulative_taken, thresholds, side="left")
+        # The k-th taken branch retires at taken_positions[k - 1]; same
+        # result as searchsorted(cumulative_taken, k, "left") without the
+        # per-instruction cumulative array.
+        return trace.taken_positions[thresholds - 1]
     raise PMUConfigError(f"unknown event kind {kind!r}")

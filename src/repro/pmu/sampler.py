@@ -89,11 +89,37 @@ class SampleBatch:
     @property
     def reported_addresses(self) -> np.ndarray:
         """Virtual address reported by each sample (int64)."""
-        return self.execution.trace.addresses[self.reported_idx]
+        return self.execution.trace.addresses_at(self.reported_idx)
 
     def lbr_facility(self) -> LBRFacility:
         """The LBR reader for this batch's trace."""
         return LBRFacility(self.execution.trace, self.execution.uarch.lbr_depth)
+
+
+def drop_flushed_ibs(
+    reported: np.ndarray,
+    n: int,
+    mispredicts: np.ndarray,
+    window: int,
+) -> np.ndarray:
+    """Mark IBS captures in a wrong-path dispatch window as lost.
+
+    Returns a copy with flushed captures set past the end of the trace
+    (``n``) so the common validity filter drops them.  Shared by the
+    reference :class:`Sampler` and :class:`repro.pmu.fastpath.FastSampler`
+    so both engines apply one flush model.
+    """
+    if window <= 0 or reported.size == 0 or mispredicts.size == 0:
+        return reported
+    clipped = np.minimum(reported, n - 1)
+    k = np.searchsorted(mispredicts, clipped, side="right")
+    has_prev = k > 0
+    prev_pos = mispredicts[np.maximum(k - 1, 0)]
+    flushed = has_prev & (clipped - prev_pos <= window) \
+        & (clipped > prev_pos)
+    out = reported.copy()
+    out[flushed] = n
+    return out
 
 
 class Sampler:
@@ -103,27 +129,12 @@ class Sampler:
         self.execution = execution
 
     def _drop_flushed_ibs(self, reported: np.ndarray) -> np.ndarray:
-        """Mark IBS captures in a wrong-path dispatch window as lost.
-
-        Returns a copy with flushed captures set past the end of the trace
-        so the common validity filter drops them.
-        """
-        window = self.execution.uarch.ibs_flush_window
-        if window <= 0 or reported.size == 0:
-            return reported
-        n = self.execution.trace.num_instructions
-        mispredicts = self.execution.predictor.mispredict_positions
-        if mispredicts.size == 0:
-            return reported
-        clipped = np.minimum(reported, n - 1)
-        k = np.searchsorted(mispredicts, clipped, side="right")
-        has_prev = k > 0
-        prev_pos = mispredicts[np.maximum(k - 1, 0)]
-        flushed = has_prev & (clipped - prev_pos <= window) \
-            & (clipped > prev_pos)
-        out = reported.copy()
-        out[flushed] = n
-        return out
+        return drop_flushed_ibs(
+            reported,
+            self.execution.trace.num_instructions,
+            self.execution.predictor.mispredict_positions,
+            self.execution.uarch.ibs_flush_window,
+        )
 
     def collect(
         self, config: SamplingConfig, rng: np.random.Generator

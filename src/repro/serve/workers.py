@@ -50,7 +50,8 @@ def run_table_request(
         kwargs["methods"] = request.methods
     if request.workloads is not None:
         kwargs["workloads"] = request.workloads
-    table = build(harness, jobs=jobs, abort=abort, **kwargs)
+    table = build(harness, jobs=jobs, abort=abort, engine=request.engine,
+                  **kwargs)
     return {
         "schema_version": api.API_SCHEMA_VERSION,
         "request": request.to_dict(),

@@ -23,7 +23,8 @@ import os
 from dataclasses import dataclass, replace
 from pathlib import Path
 
-from repro.errors import SweepError
+from repro.errors import PMUConfigError, SweepError
+from repro.cpu.engine import DEFAULT_ENGINE, validate_engine
 from repro.core.experiment import DEFAULT_MACHINES, CellSpec
 from repro.core.methods import METHOD_KEYS
 from repro.cpu.uarch import get_uarch
@@ -93,6 +94,9 @@ class CampaignSpec:
     seed_counts: tuple[int, ...] = (5,)
     seed_base: int = 100
     scale: float = 1.0
+    #: Execution back-end for every cell (results are engine-independent;
+    #: this only selects how fast they are computed).
+    engine: str = DEFAULT_ENGINE
 
     def __post_init__(self) -> None:
         # Normalize lists to tuples so specs hash and compare by value.
@@ -134,6 +138,10 @@ class CampaignSpec:
             raise SweepError(
                 f"campaign {self.name!r}: scale must be positive"
             )
+        try:
+            validate_engine(self.engine)
+        except PMUConfigError as exc:
+            raise SweepError(f"campaign {self.name!r}: {exc}") from None
 
     # -- expansion ---------------------------------------------------------
 
@@ -151,7 +159,8 @@ class CampaignSpec:
         order reports and journals are keyed to.
         """
         return [
-            SweepPoint(CellSpec(machine, workload, method, period), repeats)
+            SweepPoint(CellSpec(machine, workload, method, period,
+                                self.engine), repeats)
             for workload in self.workloads
             for period in self.periods_for(workload)
             for machine in self.machines
@@ -175,7 +184,7 @@ class CampaignSpec:
     # -- round trip --------------------------------------------------------
 
     def to_dict(self) -> dict[str, object]:
-        return {
+        document: dict[str, object] = {
             "version": SPEC_VERSION,
             "name": self.name,
             "workloads": list(self.workloads),
@@ -186,6 +195,11 @@ class CampaignSpec:
             "seed_base": self.seed_base,
             "scale": self.scale,
         }
+        # The default engine stays out of the document (and therefore the
+        # digest): existing campaign specs and journals keep their identity.
+        if self.engine != DEFAULT_ENGINE:
+            document["engine"] = self.engine
+        return document
 
     @classmethod
     def from_dict(cls, document: dict[str, object]) -> "CampaignSpec":
@@ -213,6 +227,7 @@ class CampaignSpec:
                 seed_counts=tuple(document.get("seed_counts") or (5,)),
                 seed_base=int(document.get("seed_base", 100)),
                 scale=float(document.get("scale", 1.0)),
+                engine=str(document.get("engine", DEFAULT_ENGINE)),
             )
         except KeyError as exc:
             raise SweepError(f"campaign spec missing field {exc}") from None

@@ -65,60 +65,22 @@ def test_table2_uses_app_workloads(harness):
     assert table.get("ivybridge", "mcf", "classic") is not None
 
 
-def test_get_accepts_legacy_tuple_keys_with_deprecation():
-    import pytest
-
-    from repro.core.stats import AccuracyStats
-    from repro.core.tables import TableResult
-
-    table = TableResult(title="legacy", row_labels=[("ivybridge", "mcf")],
-                        column_labels=["classic", "lbr"])
-    stats = AccuracyStats(method="classic", errors=(0.1, 0.2))
-    table.cells[("ivybridge", "mcf", "classic")] = stats          # 3-tuple
-    table.cells[("ivybridge", "mcf", "lbr", 2000)] = None         # 4-tuple
-    with pytest.warns(DeprecationWarning, match="CellSpec"):
-        assert table.get("ivybridge", "mcf", "classic") is stats
-    with pytest.warns(DeprecationWarning):
-        assert table.get("ivybridge", "mcf", "lbr") is None
-    with pytest.warns(DeprecationWarning):
-        assert table.get("westmere", "mcf", "classic") is None
-    with pytest.warns(DeprecationWarning):
-        assert "0.150" in table.render()     # mean of (0.1, 0.2)
-
-
-def test_get_mixes_cellspec_and_tuple_keys():
-    import pytest
-
-    from repro.core.experiment import CellSpec
-    from repro.core.stats import AccuracyStats
-    from repro.core.tables import TableResult
-
-    table = TableResult(title="mixed", row_labels=[("ivybridge", "mcf")],
-                        column_labels=["classic", "precise"])
-    by_spec = AccuracyStats(method="classic", errors=(0.3,))
-    by_tuple = AccuracyStats(method="precise", errors=(0.4,))
-    table.cells[CellSpec("ivybridge", "mcf", "classic", 500)] = by_spec
-    table.cells[("ivybridge", "mcf", "precise")] = by_tuple
-    assert table.get("ivybridge", "mcf", "classic") is by_spec
-    with pytest.warns(DeprecationWarning):
-        assert table.get("ivybridge", "mcf", "precise") is by_tuple
-
-
-def test_get_with_cellspec_keys_only_does_not_warn():
-    import warnings
-
+def test_get_ignores_period_and_engine():
     from repro.core.experiment import CellSpec
     from repro.core.stats import AccuracyStats
     from repro.core.tables import TableResult
 
     table = TableResult(title="clean", row_labels=[("ivybridge", "mcf")],
-                        column_labels=["classic"])
-    stats = AccuracyStats(method="classic", errors=(0.3,))
-    table.cells[CellSpec("ivybridge", "mcf", "classic", 500)] = stats
-    with warnings.catch_warnings():
-        warnings.simplefilter("error", DeprecationWarning)
-        assert table.get("ivybridge", "mcf", "classic") is stats
-        assert table.get("ivybridge", "mcf", "lbr") is None
+                        column_labels=["classic", "precise"])
+    by_ref = AccuracyStats(method="classic", errors=(0.3,))
+    by_fast = AccuracyStats(method="precise", errors=(0.4,))
+    table.cells[CellSpec("ivybridge", "mcf", "classic", 500)] = by_ref
+    table.cells[
+        CellSpec("ivybridge", "mcf", "precise", 500, engine="fast")
+    ] = by_fast
+    assert table.get("ivybridge", "mcf", "classic") is by_ref
+    assert table.get("ivybridge", "mcf", "precise") is by_fast
+    assert table.get("westmere", "mcf", "classic") is None
 
 
 def test_table3_render_mentions_paper_values():
