@@ -89,6 +89,9 @@ from repro.api import (
     CampaignSpec,
     EvaluateRequest,
     EvaluateResult,
+    FleetConfig,
+    FleetReport,
+    RemoteCache,
     evaluate_cell,
     evaluate_request,
     load_campaign,
@@ -180,6 +183,9 @@ __all__ = [
     # campaigns (repro.sweep)
     "CampaignResult",
     "CampaignSpec",
+    "FleetConfig",
+    "FleetReport",
+    "RemoteCache",
     "load_campaign",
     "run_campaign",
     # workloads

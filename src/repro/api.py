@@ -38,7 +38,7 @@ from typing import Callable
 from repro.errors import PMUConfigError, RequestError, WorkloadError
 from repro.cpu.engine import DEFAULT_ENGINE, ENGINE_NAMES, validate_engine
 from repro.cpu.uarch import get_uarch
-from repro.core.cache import ArtifactCache, resolve_cache
+from repro.core.cache import ArtifactCache, RemoteCache, resolve_cache
 from repro.core.experiment import CellSpec, ExperimentConfig, Harness
 from repro.core.methods import get_method
 from repro.core.stats import AccuracyStats
@@ -48,7 +48,13 @@ from repro.core.tables import (
     build_table1,
     build_table2,
 )
-from repro.sweep import CampaignResult, CampaignSpec, load_campaign
+from repro.sweep import (
+    CampaignResult,
+    CampaignSpec,
+    FleetConfig,
+    FleetReport,
+    load_campaign,
+)
 from repro.sweep import run_campaign_dir as _run_campaign_dir
 from repro.workloads.registry import APP_NAMES, KERNEL_NAMES, get_workload
 
@@ -63,7 +69,10 @@ __all__ = [
     "EvaluateRequest",
     "EvaluateResult",
     "ExperimentConfig",
+    "FleetConfig",
+    "FleetReport",
     "Harness",
+    "RemoteCache",
     "TableResult",
     "compare_bench",
     "evaluate_cell",
@@ -373,17 +382,26 @@ def run_campaign(
     jobs: int = 1,
     cache: CacheArg = None,
     resume: bool = False,
+    workers: "list[str] | tuple[str, ...] | None" = None,
+    fleet: "FleetConfig | None" = None,
 ) -> CampaignResult:
     """Run (or ``resume``) an experiment campaign into its directory.
 
     ``spec`` is a :class:`~repro.sweep.CampaignSpec` or a path to its JSON
     form.  The directory receives the journal, ``campaign.json``, markdown
     and CSV reports, and a provenance manifest; see :mod:`repro.sweep`.
+
+    ``workers`` (a list of ``repro-pmu serve`` base URLs) runs the
+    campaign through the distributed coordinator instead of local
+    processes — same journal, same artifacts, byte for byte; ``fleet``
+    tunes its retry/deadline/quarantine behavior
+    (:class:`~repro.sweep.FleetConfig`).
     """
     if not isinstance(spec, CampaignSpec):
         spec = CampaignSpec.load(spec)
     return _run_campaign_dir(
         spec, out_dir, jobs=jobs, cache=resolve_cache(cache), resume=resume,
+        workers=workers, fleet=fleet,
         manifest_extra={"command": "api.run_campaign"},
     )
 

@@ -27,6 +27,15 @@ Design rules:
 The default root is ``~/.cache/repro``, overridable with the
 ``REPRO_CACHE_DIR`` environment variable, a CLI flag (``--cache-dir``), or
 the ``root`` constructor argument.
+
+Federation (DESIGN.md §10): because entries are content-addressed by the
+full cell configuration, a cache entry is location-independent — any node
+that computes the same digest may serve it.  :class:`RemoteCache` layers a
+read-through remote tier (the ``GET/PUT /v1/cache/<kind>/<digest>`` routes
+of a :mod:`repro.serve` daemon) under the local store: local misses fall
+back to the remote, remote hits are written through locally, and local
+writes are pushed to the remote best-effort.  Every remote payload travels
+with its SHA-256; a corrupt or mismatched body is a miss, never an error.
 """
 
 from __future__ import annotations
@@ -36,8 +45,11 @@ import hashlib
 import io
 import json
 import os
+import re
 import shutil
 import tempfile
+import urllib.error
+import urllib.request
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -53,6 +65,29 @@ CACHE_FORMAT_VERSION = 1
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 _DEFAULT_ROOT = "~/.cache/repro"
+
+#: Entry kinds the store knows, with their on-disk suffixes.  The serve
+#: daemon's federation routes accept exactly these kinds.
+KIND_SUFFIXES: dict[str, str] = {
+    "stats": ".json",
+    "trace": ".npz",
+    "reference": ".npz",
+}
+
+#: HTTP header carrying the SHA-256 of a federated entry's body bytes.
+CHECKSUM_HEADER = "X-Repro-Sha256"
+
+_DIGEST_RE = re.compile(r"[0-9a-f]{64}")
+
+
+def body_sha256(data: bytes) -> str:
+    """Hex SHA-256 of one federated entry body (transfer integrity)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def valid_entry_address(kind: str, digest: str) -> bool:
+    """Whether (kind, digest) is a well-formed federation address."""
+    return kind in KIND_SUFFIXES and bool(_DIGEST_RE.fullmatch(digest))
 
 
 def default_cache_root() -> Path:
@@ -153,24 +188,71 @@ class ArtifactCache:
         if corrupt:
             count("cache.corrupt")
 
+    # -- tier hooks --------------------------------------------------------
+    #
+    # get_*/put_* parse and serialize; the raw bytes flow through these two
+    # hooks so a tier (RemoteCache) can interpose without touching the
+    # format logic.  _load returning None is a miss; corruption is decided
+    # by the parser above it.
+
+    def _load(self, kind: str, digest: str, suffix: str) -> bytes | None:
+        try:
+            return self._path(kind, digest, suffix).read_bytes()
+        except OSError:
+            return None
+
+    def _store(self, kind: str, digest: str, suffix: str,
+               data: bytes) -> None:
+        self._write_atomic(self._path(kind, digest, suffix), data)
+
+    # -- federation entry access (the serve daemon's cache routes) ---------
+
+    def read_entry(self, kind: str, digest: str) -> bytes | None:
+        """Raw bytes of one *local* entry for ``GET /v1/cache/…``.
+
+        Always answers from the local store (never a remote tier), so
+        federated daemons cannot loop through each other.  Unknown kinds
+        and malformed digests are ``None``, as is a missing entry.
+        """
+        if not valid_entry_address(kind, digest):
+            return None
+        try:
+            return self._path(kind, digest,
+                              KIND_SUFFIXES[kind]).read_bytes()
+        except OSError:
+            return None
+
+    def write_entry(self, kind: str, digest: str, data: bytes) -> bool:
+        """Store raw entry bytes for ``PUT /v1/cache/…`` (atomic).
+
+        Returns ``False`` for a malformed address instead of writing
+        outside the keyspace.  Corrupt payloads are tolerated by design:
+        readers treat unparsable entries as misses.
+        """
+        if not valid_entry_address(kind, digest):
+            return False
+        self._write_atomic(self._path(kind, digest, KIND_SUFFIXES[kind]),
+                           data)
+        return True
+
     # -- accuracy stats ----------------------------------------------------
 
     def get_stats(self, digest: str):
         """Load one cell's :class:`AccuracyStats`, or ``None`` on a miss."""
         from repro.core.stats import AccuracyStats  # lazy: keep import light
 
-        path = self._path("stats", digest, ".json")
+        data = self._load("stats", digest, ".json")
+        if data is None:
+            self._miss()
+            return None
         try:
-            document = json.loads(path.read_text(encoding="utf-8"))
+            document = json.loads(data.decode("utf-8"))
             if document["format"] != CACHE_FORMAT_VERSION:
                 raise ValueError("format mismatch")
             stats = AccuracyStats(
                 method=document["method"],
                 errors=tuple(float(e) for e in document["errors"]),
             )
-        except FileNotFoundError:
-            self._miss()
-            return None
         except Exception:
             self._miss(corrupt=True)
             return None
@@ -184,10 +266,8 @@ class ArtifactCache:
             "method": stats.method,
             "errors": list(stats.errors),
         }
-        self._write_atomic(
-            self._path("stats", digest, ".json"),
-            json.dumps(document).encode("utf-8"),
-        )
+        self._store("stats", digest, ".json",
+                    json.dumps(document).encode("utf-8"))
 
     # -- numpy arrays (traces, reference counts) ---------------------------
 
@@ -199,13 +279,13 @@ class ArtifactCache:
         Every requested name must be present; anything else — missing
         file, bad zip, missing member — is a miss.
         """
-        path = self._path(kind, digest, ".npz")
-        try:
-            with np.load(path, allow_pickle=False) as archive:
-                arrays = {name: archive[name] for name in names}
-        except FileNotFoundError:
+        data = self._load(kind, digest, ".npz")
+        if data is None:
             self._miss()
             return None
+        try:
+            with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+                arrays = {name: archive[name] for name in names}
         except Exception:
             self._miss(corrupt=True)
             return None
@@ -216,8 +296,7 @@ class ArtifactCache:
         """Persist a named-array bundle (compressed npz)."""
         buffer = io.BytesIO()
         np.savez_compressed(buffer, **arrays)
-        self._write_atomic(self._path(kind, digest, ".npz"),
-                           buffer.getvalue())
+        self._store(kind, digest, ".npz", buffer.getvalue())
 
     # -- maintenance -------------------------------------------------------
 
@@ -247,6 +326,105 @@ class ArtifactCache:
                 if child.is_dir() and child.name.startswith("v"):
                     shutil.rmtree(child, ignore_errors=True)
         return removed
+
+
+class RemoteCache(ArtifactCache):
+    """A local cache with a read-through remote tier (cache federation).
+
+    ``remote`` is the base URL of a :mod:`repro.serve` daemon exposing the
+    ``/v1/cache/<kind>/<digest>`` routes.  Lookup order: local store,
+    then remote ``GET`` (a hit is written through to the local store, so
+    each entry crosses the network once per node); writes land locally
+    and are pushed to the remote best-effort — a dead or slow remote
+    degrades to a plain local cache, never an error.
+
+    Transfer integrity: every body travels with its SHA-256 in the
+    ``X-Repro-Sha256`` header.  A missing or mismatched checksum — or a
+    body the format layer cannot parse — is treated as a miss
+    (``cache.remote_corrupt``), exactly like a corrupt local entry.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        remote: str,
+        timeout_s: float = 10.0,
+    ) -> None:
+        super().__init__(root)
+        self.remote = remote.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RemoteCache {self.root} remote={self.remote}>"
+
+    def _entry_url(self, kind: str, digest: str) -> str:
+        return f"{self.remote}/v1/cache/{kind}/{digest}"
+
+    # -- tier hooks --------------------------------------------------------
+
+    def _load(self, kind: str, digest: str, suffix: str) -> bytes | None:
+        data = super()._load(kind, digest, suffix)
+        if data is not None:
+            return data
+        data = self._remote_get(kind, digest)
+        if data is None:
+            return None
+        # Write through: the next lookup on this node is a local read.
+        self._write_atomic(self._path(kind, digest, suffix), data)
+        return data
+
+    def _store(self, kind: str, digest: str, suffix: str,
+               data: bytes) -> None:
+        super()._store(kind, digest, suffix, data)
+        self._remote_put(kind, digest, data)
+
+    # -- transport ---------------------------------------------------------
+
+    def _remote_get(self, kind: str, digest: str) -> bytes | None:
+        if not valid_entry_address(kind, digest):
+            return None
+        request = urllib.request.Request(self._entry_url(kind, digest))
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as response:
+                data = response.read()
+                checksum = response.headers.get(CHECKSUM_HEADER)
+        except urllib.error.HTTPError as exc:
+            exc.close()
+            if exc.code == 404:
+                count("cache.remote_misses")
+            else:
+                count("cache.remote_errors")
+            return None
+        except (urllib.error.URLError, OSError, TimeoutError):
+            count("cache.remote_errors")
+            return None
+        if checksum != body_sha256(data):
+            count("cache.remote_corrupt")
+            return None
+        count("cache.remote_hits")
+        return data
+
+    def _remote_put(self, kind: str, digest: str, data: bytes) -> None:
+        if not valid_entry_address(kind, digest):
+            return
+        request = urllib.request.Request(
+            self._entry_url(kind, digest),
+            data=data,
+            method="PUT",
+            headers={
+                "Content-Type": "application/octet-stream",
+                CHECKSUM_HEADER: body_sha256(data),
+            },
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s):
+                pass
+        except (urllib.error.URLError, OSError, TimeoutError):
+            count("cache.remote_errors")
+            return
+        count("cache.remote_writes")
 
 
 def resolve_cache(

@@ -119,6 +119,11 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
 
 
 def _resolve_cache(args: argparse.Namespace) -> ArtifactCache | None:
+    remote = getattr(args, "remote_cache", None)
+    if remote:
+        from repro.core.cache import RemoteCache
+
+        return RemoteCache(getattr(args, "cache_dir", None), remote=remote)
     if getattr(args, "cache_dir", None):
         return ArtifactCache(args.cache_dir)
     if getattr(args, "cache", False):
@@ -193,7 +198,7 @@ def _cmd_table3(_: argparse.Namespace, out: Emitter) -> int:
 
 
 def _cmd_sweep_run(args: argparse.Namespace, out: Emitter) -> int:
-    from repro.sweep import CampaignSpec, run_campaign_dir
+    from repro.sweep import CampaignSpec, FleetConfig, run_campaign_dir
 
     spec = CampaignSpec.load(args.spec)
     if args.engine is not None and args.engine != spec.engine:
@@ -208,9 +213,19 @@ def _cmd_sweep_run(args: argparse.Namespace, out: Emitter) -> int:
             progress.info("[%3d/%d] %s  %s", done, total, point,
                           "--" if stats is None else stats)
 
+    workers = None
+    fleet = None
+    if args.workers:
+        workers = [url for part in args.workers
+                   for url in part.split(",") if url.strip()]
+        fleet = FleetConfig(
+            max_inflight=args.max_inflight,
+            cell_deadline_s=args.cell_deadline,
+            max_attempts=args.max_attempts,
+        )
     result = run_campaign_dir(
         spec, args.out, jobs=args.jobs, cache=_resolve_cache(args),
-        resume=args.resume, on_point=on_point,
+        resume=args.resume, workers=workers, fleet=fleet, on_point=on_point,
         manifest_extra={"command": "sweep run"},
     )
     out.result(
@@ -405,7 +420,8 @@ def _config_summary(args: argparse.Namespace) -> dict[str, object]:
     summary: dict[str, object] = {"command": args.command}
     for knob in ("scale", "repeats", "seed", "machine", "workload", "method",
                  "period", "engine", "function", "no_lbr", "jobs",
-                 "cache_dir", "spec", "out", "resume"):
+                 "cache_dir", "remote_cache", "spec", "out", "resume",
+                 "workers"):
         value = getattr(args, knob, None)
         if value is not None:
             summary[knob] = value
@@ -481,6 +497,28 @@ def main(argv: list[str] | None = None) -> int:
     pswr.add_argument(
         "--cache-dir", metavar="DIR", default=None,
         help="artifact cache location (implies --cache)",
+    )
+    pswr.add_argument(
+        "--remote-cache", metavar="URL", default=None,
+        help="federate the local cache with a serve daemon's "
+             "/v1/cache routes (read-through, write-through)",
+    )
+    pswr.add_argument(
+        "--workers", metavar="URL[,URL...]", action="append", default=None,
+        help="dispatch cells to this fleet of repro-pmu serve daemons "
+             "instead of local processes (repeat or comma-separate)",
+    )
+    pswr.add_argument(
+        "--max-inflight", type=int, default=2, metavar="N",
+        help="max concurrent cells per worker (default 2)",
+    )
+    pswr.add_argument(
+        "--cell-deadline", type=float, default=300.0, metavar="SECONDS",
+        help="per-cell evaluation deadline on a worker (default 300)",
+    )
+    pswr.add_argument(
+        "--max-attempts", type=int, default=6, metavar="N",
+        help="attempts per cell before the campaign fails (default 6)",
     )
     _add_obs_args(pswr)
     pswr.set_defaults(func=_cmd_sweep_run)
@@ -558,6 +596,11 @@ def main(argv: list[str] | None = None) -> int:
     psv.add_argument(
         "--cache-dir", metavar="DIR", default=None,
         help="artifact cache location (implies --cache)",
+    )
+    psv.add_argument(
+        "--remote-cache", metavar="URL", default=None,
+        help="federate this daemon's cache with another daemon's "
+             "/v1/cache routes (read-through, write-through)",
     )
     _add_obs_args(psv)
     psv.set_defaults(func=_cmd_serve)

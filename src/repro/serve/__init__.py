@@ -11,7 +11,11 @@ pipeline behind a small, versioned HTTP API (stdlib only — no framework):
   versioned document :func:`repro.api.save_table` writes,
 * ``GET /v1/jobs/<id>`` — poll an asynchronous job,
 * ``GET /healthz`` and ``GET /metrics`` — liveness and the
-  :mod:`repro.obs` counters in Prometheus text format.
+  :mod:`repro.obs` counters in Prometheus text format,
+* ``GET/PUT /v1/cache/<kind>/<digest>`` — cache federation: raw
+  content-addressed artifact bytes (SHA-256-checksummed in transit) so a
+  fleet of daemons shares one logical artifact store through
+  :class:`~repro.core.cache.RemoteCache` (DESIGN.md §10).
 
 Internally: a bounded job queue with backpressure (full → HTTP 429 +
 ``Retry-After``), a worker-thread pool sharing one persistent

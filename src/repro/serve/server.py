@@ -33,7 +33,12 @@ from repro.errors import RequestError, ServeError
 from repro.obs import Collector, count, get_collector, install, observe
 from repro.obs.export import render_prometheus
 from repro.obs.log import get_logger
-from repro.core.cache import ArtifactCache
+from repro.core.cache import (
+    CHECKSUM_HEADER,
+    ArtifactCache,
+    body_sha256,
+    valid_entry_address,
+)
 from repro.serve.jobs import Job, JobQueue, JobState, QueueFull
 from repro.serve.protocol import TableRequest, split_transport
 from repro.serve.workers import WorkerPool
@@ -42,6 +47,15 @@ _log = get_logger("serve")
 
 #: Largest accepted request body (profiling requests are tiny documents).
 MAX_BODY_BYTES = 1 << 20
+
+#: Largest accepted federated cache entry (full-scale traces compress to
+#: a few MB; this caps a hostile or runaway PUT, not a real artifact).
+MAX_CACHE_ENTRY_BYTES = 1 << 28
+
+#: ``Retry-After`` seconds sent with 503 drain responses — a draining
+#: worker is leaving, so coordinators should give the fleet a moment to
+#: rebalance rather than hammering the socket until it closes.
+DRAIN_RETRY_AFTER_S = 5
 
 
 @dataclass
@@ -124,8 +138,68 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, document)
             else:
                 self._send_json(200, job.to_dict())
+        elif self.path.startswith("/v1/cache/"):
+            self._get_cache_entry()
         else:
             self._send_json(404, {"error": f"unknown route {self.path}"})
+
+    # -- cache federation (DESIGN.md §10) ----------------------------------
+
+    def _cache_address(self) -> tuple[str, str] | None:
+        """Parse ``/v1/cache/<kind>/<digest>``; ``None`` when malformed."""
+        parts = self.path[len("/v1/cache/"):].split("/")
+        if len(parts) != 2 or not valid_entry_address(*parts):
+            return None
+        return parts[0], parts[1]
+
+    def _get_cache_entry(self) -> None:
+        address = self._cache_address()
+        if address is None:
+            self._send_json(404, {"error": "malformed cache address "
+                                           "(want /v1/cache/<kind>/<digest>)"})
+            return
+        cache = self.app.config.cache
+        data = None if cache is None else cache.read_entry(*address)
+        if data is None:
+            self._send_json(404, {"error": "no such cache entry"})
+            return
+        count("serve.cache_entries_served")
+        self._send_bytes(200, data, content_type="application/octet-stream",
+                         extra_headers={CHECKSUM_HEADER: body_sha256(data)})
+
+    def do_PUT(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        count("serve.requests")
+        if not self.path.startswith("/v1/cache/"):
+            self._send_json(404, {"error": f"unknown route {self.path}"})
+            return
+        address = self._cache_address()
+        if address is None:
+            self._send_json(400, {"error": "malformed cache address "
+                                           "(want /v1/cache/<kind>/<digest>)"})
+            return
+        cache = self.app.config.cache
+        if cache is None:
+            self._send_json(404, {"error": "this daemon has no cache "
+                                           "(start with --cache/--cache-dir)"})
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > MAX_CACHE_ENTRY_BYTES:
+            self._send_json(400, {"error": f"cache entry body must be "
+                                           f"1..{MAX_CACHE_ENTRY_BYTES} "
+                                           f"bytes, got {length}"})
+            return
+        data = self.rfile.read(length)
+        claimed = self.headers.get(CHECKSUM_HEADER)
+        if claimed is not None and claimed != body_sha256(data):
+            count("serve.cache_put_corrupt")
+            self._send_json(400, {"error": "body does not match its "
+                                           f"{CHECKSUM_HEADER} checksum"})
+            return
+        if not cache.write_entry(*address, data):
+            self._send_json(400, {"error": "unstorable cache address"})
+            return
+        count("serve.cache_entries_stored")
+        self._send_json(200, {"stored": True})
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         # Request latency is measured here at the HTTP layer (queue wait +
@@ -145,7 +219,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"unknown route {self.path}"})
             return
         if self.app.draining:
-            self._send_json(503, {"error": "server is draining"})
+            # Like the 429 path, 503 carries Retry-After so clients (the
+            # distributed coordinator in particular) back off uniformly.
+            self._send_json(
+                503, {"error": "server is draining"},
+                extra_headers={"Retry-After": str(DRAIN_RETRY_AFTER_S)},
+            )
             return
         try:
             payload, transport = split_transport(self._read_body())
@@ -171,7 +250,10 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         except ServeError as exc:        # closed between check and submit
-            self._send_json(503, {"error": str(exc)})
+            self._send_json(
+                503, {"error": str(exc)},
+                extra_headers={"Retry-After": str(DRAIN_RETRY_AFTER_S)},
+            )
             return
 
         if not transport.wait:

@@ -39,6 +39,13 @@ from pathlib import Path
 from repro.errors import SweepError
 from repro.obs import build_manifest, get_collector, write_manifest
 from repro.core.cache import ArtifactCache
+from repro.sweep.distributed import (
+    FleetConfig,
+    FleetReport,
+    WorkerState,
+    probe_workers,
+    run_campaign_distributed,
+)
 from repro.sweep.aggregate import (
     BootstrapCI,
     CurvePoint,
@@ -69,20 +76,25 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "CurvePoint",
+    "FleetConfig",
+    "FleetReport",
     "JournalState",
     "ProgressFn",
     "SummaryRow",
     "SweepError",
     "SweepPoint",
+    "WorkerState",
     "bootstrap_ci",
     "load_campaign",
     "load_journal",
     "log_spaced_periods",
     "period_sensitivity",
+    "probe_workers",
     "render_markdown",
     "result_from_journal",
     "run_campaign",
     "run_campaign_dir",
+    "run_campaign_distributed",
     "seed_convergence",
     "summarize",
     "write_reports",
@@ -96,6 +108,8 @@ def run_campaign_dir(
     jobs: int = 1,
     cache: ArtifactCache | None = None,
     resume: bool = False,
+    workers: "list[str] | tuple[str, ...] | None" = None,
+    fleet: FleetConfig | None = None,
     on_point: ProgressFn | None = None,
     manifest_extra: dict[str, object] | None = None,
 ) -> CampaignResult:
@@ -112,6 +126,12 @@ def run_campaign_dir(
 
     On resume the stored spec must match ``spec`` (by digest); running a
     different spec into an existing campaign directory is an error.
+
+    ``workers`` switches execution to the distributed coordinator
+    (:func:`run_campaign_distributed`): cells are dispatched to that
+    fleet of ``repro-pmu serve`` daemons instead of local processes, the
+    journal and every report stay byte-identical, and the fleet's
+    per-node :class:`FleetReport` is merged into the provenance manifest.
     """
     out_dir = Path(out_dir)
     spec_path = out_dir / SPEC_FILENAME
@@ -125,26 +145,41 @@ def run_campaign_dir(
     else:
         spec.save(spec_path)
 
-    result = run_campaign(
-        spec,
-        out_dir / JOURNAL_FILENAME,
-        jobs=jobs,
-        cache=cache,
-        resume=resume,
-        on_point=on_point,
-    )
+    fleet_report: FleetReport | None = None
+    if workers:
+        result, fleet_report = run_campaign_distributed(
+            spec,
+            out_dir / JOURNAL_FILENAME,
+            workers,
+            fleet=fleet,
+            resume=resume,
+            on_point=on_point,
+        )
+    else:
+        result = run_campaign(
+            spec,
+            out_dir / JOURNAL_FILENAME,
+            jobs=jobs,
+            cache=cache,
+            resume=resume,
+            on_point=on_point,
+        )
     result.save(out_dir / DOCUMENT_FILENAME)
     write_reports(result, out_dir)
 
+    extra = {"out_dir": str(out_dir), **(manifest_extra or {})}
+    if fleet_report is not None:
+        extra["fleet"] = fleet_report.to_dict()
     manifest = build_manifest(
         config={
             "campaign": spec.to_dict(),
             "spec_digest": spec.digest(),
             "jobs": jobs,
             "resume": resume,
+            **({"workers": list(workers)} if workers else {}),
         },
         collector=get_collector(),
-        extra={"out_dir": str(out_dir), **(manifest_extra or {})},
+        extra=extra,
     )
     write_manifest(out_dir / "campaign.meta.json", manifest)
     return result

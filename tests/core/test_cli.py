@@ -255,6 +255,41 @@ def test_sweep_run_status_report_cycle(tmp_path, capsys):
     assert (out_dir / "report.md").read_bytes() == before
 
 
+def test_sweep_run_workers_flag_drives_the_coordinator(tmp_path, capsys,
+                                                       monkeypatch):
+    import repro.sweep
+
+    _, spec_path = _write_sweep_spec(tmp_path)
+    seen = {}
+
+    def fake_distributed(spec, journal_path, workers, *, fleet=None,
+                         resume=False, on_point=None):
+        seen["workers"] = list(workers)
+        seen["fleet"] = fleet
+        result = repro.sweep.run_campaign(spec, journal_path, resume=resume,
+                                          on_point=on_point)
+        return result, repro.sweep.FleetReport(
+            workers=[repro.sweep.WorkerState(url=url, index=index)
+                     for index, url in enumerate(workers)])
+
+    monkeypatch.setattr(repro.sweep, "run_campaign_distributed",
+                        fake_distributed)
+    assert main(["sweep", "run", str(spec_path),
+                 "--out", str(tmp_path / "camp"),
+                 "--workers", "http://a:1,http://b:2", "--workers",
+                 "http://c:3", "--cell-deadline", "45", "--max-attempts",
+                 "3", "--max-inflight", "4", "-q"]) == 0
+    assert "4 cells" in capsys.readouterr().out
+    assert seen["workers"] == ["http://a:1", "http://b:2", "http://c:3"]
+    assert seen["fleet"].cell_deadline_s == 45.0
+    assert seen["fleet"].max_attempts == 3
+    assert seen["fleet"].max_inflight == 4
+    manifest = json.loads(
+        (tmp_path / "camp" / "campaign.meta.json").read_text())
+    assert manifest["config"]["workers"] == seen["workers"]
+    assert len(manifest["fleet"]["workers"]) == 3
+
+
 def test_sweep_run_emits_progress_lines(tmp_path, capsys):
     _, spec_path = _write_sweep_spec(tmp_path)
     assert main(["sweep", "run", str(spec_path),

@@ -13,7 +13,12 @@ import urllib.request
 import pytest
 
 from repro import api
-from repro.core.cache import ArtifactCache
+from repro.core.cache import (
+    CHECKSUM_HEADER,
+    ArtifactCache,
+    body_sha256,
+    cache_digest,
+)
 from repro.core.cli import main
 from repro.serve import ProfilingServer, ServerConfig
 
@@ -204,6 +209,80 @@ def test_full_queue_returns_429_with_retry_after(lame_server):
     assert status == 429
     assert int(headers["Retry-After"]) >= 1
     assert "full" in json.loads(body)["error"]
+
+
+def put(url: str, data: bytes,
+        headers: dict[str, str] | None = None) -> tuple[int, bytes]:
+    request = urllib.request.Request(url, data=data, method="PUT",
+                                     headers=headers or {})
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def test_cache_entry_roundtrip_with_checksum(server):
+    digest = cache_digest(cell="served-roundtrip")
+    body = json.dumps({"format": 1, "method": "classic",
+                       "errors": [0.5]}).encode("utf-8")
+    before = scrape_counters(server.url)
+    status, _ = put(server.url + f"/v1/cache/stats/{digest}", body,
+                    headers={CHECKSUM_HEADER: body_sha256(body)})
+    assert status == 200
+
+    request = urllib.request.Request(server.url + f"/v1/cache/stats/{digest}")
+    with urllib.request.urlopen(request) as response:
+        assert response.status == 200
+        served = response.read()
+        assert response.headers[CHECKSUM_HEADER] == body_sha256(served)
+    assert served == body
+    after = scrape_counters(server.url)
+    assert after["repro_serve_cache_entries_stored_total"] == \
+        before.get("repro_serve_cache_entries_stored_total", 0) + 1
+    assert after["repro_serve_cache_entries_served_total"] == \
+        before.get("repro_serve_cache_entries_served_total", 0) + 1
+
+
+def test_cache_routes_reject_bad_addresses(server):
+    digest = cache_digest(cell="bad-addresses")
+    assert get(server.url + f"/v1/cache/stats/{digest}")[0] == 404  # absent
+    assert get(server.url + f"/v1/cache/bogus/{digest}")[0] == 404  # bad kind
+    assert get(server.url + "/v1/cache/stats/nothex")[0] == 404
+    assert put(server.url + "/v1/cache/bogus/" + digest, b"x")[0] == 400
+    assert put(server.url + "/v1/cache/stats/nothex", b"x")[0] == 400
+    assert put(server.url + f"/v1/cache/stats/{digest}", b"")[0] == 400
+
+
+def test_cache_put_with_wrong_checksum_is_rejected(server):
+    digest = cache_digest(cell="corrupt-put")
+    status, body = put(server.url + f"/v1/cache/stats/{digest}", b"payload",
+                       headers={CHECKSUM_HEADER: "0" * 64})
+    assert status == 400
+    assert "checksum" in json.loads(body)["error"]
+    assert get(server.url + f"/v1/cache/stats/{digest}")[0] == 404  # nothing stored
+    counters = scrape_counters(server.url)
+    assert counters["repro_serve_cache_put_corrupt_total"] >= 1
+
+
+def test_cache_put_without_a_cache_is_404(lame_server):
+    digest = cache_digest(cell="cacheless")
+    assert put(lame_server.url + f"/v1/cache/stats/{digest}", b"x")[0] == 404
+    assert get(lame_server.url + f"/v1/cache/stats/{digest}")[0] == 404
+
+
+def test_draining_503_carries_retry_after(lame_server):
+    # Regression: the 429 path always sent Retry-After, the 503 drain
+    # path did not — coordinators need both to back off uniformly.
+    lame_server.draining = True
+    try:
+        status, headers, body = post(lame_server.url + "/v1/evaluate",
+                                     dict(FAST_CELL, wait=False))
+    finally:
+        lame_server.draining = False
+    assert status == 503
+    assert "draining" in json.loads(body)["error"]
+    assert float(headers["Retry-After"]) >= 1
 
 
 def test_waited_request_past_deadline_returns_504(lame_server):

@@ -1,0 +1,320 @@
+"""Distributed coordinator tests: sharding, retry/requeue, byte-identity.
+
+Most tests drive the coordinator through an in-process :class:`FakeFleet`
+(an ``HttpFn`` that evaluates requests locally), so worker death, busy
+signals, and version skew are deterministic.  One end-to-end test runs a
+campaign against two live ``ProfilingServer`` daemons over real sockets.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+
+import pytest
+
+from repro._version import __version__
+from repro.api import EvaluateRequest, evaluate_request
+from repro.errors import SweepError
+from repro.obs import collecting
+from repro.serve.protocol import split_transport
+from repro.sweep import (
+    FleetConfig,
+    probe_workers,
+    run_campaign,
+    run_campaign_dir,
+    run_campaign_distributed,
+    write_reports,
+)
+
+from tests.sweep.conftest import make_spec
+from tests.sweep.test_engine import truncate_journal
+
+REPORT_FILES = ("report.md", "summary.csv", "period_sensitivity.csv",
+                "seed_convergence.csv")
+
+#: Tight timings so fault-path tests finish in tier-1 time.
+FAST_FLEET = FleetConfig(backoff_base_s=0.01, backoff_cap_s=0.05,
+                         quarantine_after=2, quarantine_s=30.0,
+                         max_attempts=10)
+
+
+class FakeFleet:
+    """N in-process serve workers behind the coordinator's ``HttpFn`` seam.
+
+    ``POST /v1/evaluate`` evaluates through :func:`repro.api.
+    evaluate_request` — exactly what a real daemon's worker does — so the
+    byte-identity guarantees hold without sockets.  Per-worker behavior
+    hooks inject faults: return an ``(status, headers, body)`` override,
+    raise ``OSError`` to simulate a dead worker, or return ``None`` to
+    fall through to normal handling.
+    """
+
+    def __init__(self, n: int = 2, version: str = __version__):
+        self.n = n
+        self.version = version
+        self.behaviors = {}
+        self.evaluated = [0] * n
+
+    def url(self, index: int) -> str:
+        return f"http://w{index}"
+
+    def urls(self) -> list[str]:
+        return [self.url(index) for index in range(self.n)]
+
+    def set_behavior(self, index: int, hook) -> None:
+        self.behaviors[index] = hook
+
+    def http(self, method, url, body, headers, timeout_s):
+        rest = url.split("//w", 1)[1]
+        index, _, path = rest.partition("/")
+        index, path = int(index), "/" + path
+        hook = self.behaviors.get(index)
+        if hook is not None:
+            override = hook(method, path)
+            if override is not None:
+                return override
+        if method == "GET" and path == "/healthz":
+            health = {"status": "ok", "version": self.version}
+            return 200, {}, json.dumps(health).encode("utf-8")
+        if method == "POST" and path == "/v1/evaluate":
+            payload, _ = split_transport(json.loads(body))
+            result = evaluate_request(EvaluateRequest.from_dict(payload))
+            self.evaluated[index] += 1
+            return 200, {}, result.to_json().encode("utf-8")
+        return 404, {}, b'{"error": "unknown route"}'
+
+
+def dies_after(successes: int):
+    """A behavior hook: allow ``successes`` evaluates, then refuse all
+    connections (the in-process twin of kill -9)."""
+    budget = {"left": successes}
+
+    def hook(method, path):
+        if method == "POST":
+            if budget["left"] <= 0:
+                raise ConnectionRefusedError("worker killed")
+            budget["left"] -= 1
+        return None
+
+    return hook
+
+
+@pytest.fixture(scope="module")
+def local_baseline(tmp_path_factory):
+    """The single-process ground truth every distributed run must match."""
+    spec = make_spec()
+    out = tmp_path_factory.mktemp("local-baseline")
+    result = run_campaign(spec, out / "journal.jsonl")
+    write_reports(result, out)
+    return spec, result, out
+
+
+def test_distributed_run_matches_local_byte_for_byte(local_baseline,
+                                                     tmp_path):
+    spec, baseline, baseline_dir = local_baseline
+    fleet = FakeFleet(n=2)
+    result, report = run_campaign_distributed(
+        spec, tmp_path / "journal.jsonl", fleet.urls(), http=fleet.http)
+
+    assert result.to_document() == baseline.to_document()
+    write_reports(result, tmp_path)
+    for name in REPORT_FILES:
+        assert (tmp_path / name).read_bytes() == \
+            (baseline_dir / name).read_bytes()
+
+    # Work was genuinely sharded: every worker evaluated cells, the
+    # dispatch tally covers the whole campaign, nothing was retried.
+    assert all(done > 0 for done in fleet.evaluated)
+    assert sum(fleet.evaluated) == spec.num_points
+    assert report.cells_dispatched == spec.num_points
+    assert report.cells_retried == 0
+    assert sum(w.cells_ok for w in report.workers) == spec.num_points
+
+
+def test_killed_worker_requeues_to_survivor(local_baseline, tmp_path):
+    spec, baseline, _ = local_baseline
+    fleet = FakeFleet(n=2)
+    fleet.set_behavior(1, dies_after(1))
+
+    with collecting() as collector:
+        result, report = run_campaign_distributed(
+            spec, tmp_path / "journal.jsonl", fleet.urls(),
+            fleet=FAST_FLEET, http=fleet.http)
+
+    # The campaign survives the death and the artifacts are unchanged.
+    assert result.to_document() == baseline.to_document()
+
+    counters = collector.metrics.counters()
+    assert counters["dist.cells_retried"] >= 1
+    assert counters["dist.cells_requeued"] >= 1
+    assert counters["sweep.cells_done"] == spec.num_points
+
+    dead, survivor = report.workers[1], report.workers[0]
+    assert dead.faults >= 1
+    assert dead.quarantines >= 1
+    assert dead.cells_ok == 1
+    assert survivor.cells_ok == spec.num_points - 1
+
+
+def test_distributed_resume_skips_journaled_cells(local_baseline, tmp_path):
+    spec, baseline, _ = local_baseline
+    fleet = FakeFleet(n=2)
+    journal = tmp_path / "journal.jsonl"
+    run_campaign_distributed(spec, journal, fleet.urls(), http=fleet.http)
+    truncate_journal(journal, keep_points=3, torn_bytes=10)
+
+    with collecting() as collector:
+        resumed, report = run_campaign_distributed(
+            spec, journal, fleet.urls(), resume=True, http=fleet.http)
+    counters = collector.metrics.counters()
+    assert counters["sweep.cells_resumed"] == 3
+    assert report.cells_dispatched == spec.num_points - 3
+    assert resumed.to_document() == baseline.to_document()
+
+
+def test_existing_journal_without_resume_is_refused(tmp_path):
+    journal = tmp_path / "journal.jsonl"
+    journal.write_text("{}\n")
+    with pytest.raises(SweepError, match="--resume"):
+        run_campaign_distributed(make_spec(), journal,
+                                 ["http://w0"], http=FakeFleet(1).http)
+
+
+def test_version_skewed_fleet_is_refused():
+    fleet = FakeFleet(n=2)
+    health = json.dumps({"status": "ok", "version": "0.0.0"}).encode("utf-8")
+    fleet.set_behavior(1, lambda method, path: (200, {}, health)
+                       if path == "/healthz" else None)
+    with pytest.raises(SweepError, match="mixed-version"):
+        probe_workers(fleet.urls(), http=fleet.http)
+
+
+def test_unreachable_workers_tolerated_but_not_all():
+    fleet = FakeFleet(n=2)
+
+    def down(method, path):
+        raise ConnectionRefusedError("down")
+
+    fleet.set_behavior(1, down)
+    workers = probe_workers(fleet.urls(), http=fleet.http)
+    assert workers[0].faults == 0 and workers[0].health is not None
+    assert workers[1].faults == 1 and workers[1].health is None
+
+    fleet.set_behavior(0, down)
+    with pytest.raises(SweepError, match="no reachable workers"):
+        probe_workers(fleet.urls(), http=fleet.http)
+
+
+def test_empty_and_duplicate_worker_urls_refused():
+    with pytest.raises(SweepError, match="no worker URLs"):
+        probe_workers([])
+    with pytest.raises(SweepError, match="duplicate"):
+        probe_workers(["http://w0", "http://w0/"],
+                      http=FakeFleet(1).http)
+
+
+def test_fatal_rejection_fails_the_campaign(tmp_path):
+    fleet = FakeFleet(n=1)
+    fleet.set_behavior(0, lambda method, path:
+                       (400, {}, b'{"error": "no such workload"}')
+                       if path == "/v1/evaluate" else None)
+    spec = make_spec(methods=("classic",), periods=(500,), seed_counts=(1,))
+    with pytest.raises(SweepError, match="rejected"):
+        run_campaign_distributed(spec, tmp_path / "journal.jsonl",
+                                 fleet.urls(), http=fleet.http)
+
+
+def test_busy_worker_backs_off_without_a_health_fault(tmp_path):
+    fleet = FakeFleet(n=1)
+    shed = {"left": 1}
+
+    def busy_once(method, path):
+        if path == "/v1/evaluate" and shed["left"] > 0:
+            shed["left"] -= 1
+            return 429, {"Retry-After": "0.01"}, b'{"error": "queue full"}'
+        return None
+
+    fleet.set_behavior(0, busy_once)
+    spec = make_spec(methods=("classic",), periods=(500,), seed_counts=(1,))
+    with collecting() as collector:
+        result, report = run_campaign_distributed(
+            spec, tmp_path / "journal.jsonl", fleet.urls(),
+            fleet=FAST_FLEET, http=fleet.http)
+    counters = collector.metrics.counters()
+    assert counters["dist.cells_requeued"] == 1
+    assert "dist.cells_retried" not in counters    # busy is not a fault
+    assert report.workers[0].faults == 0
+    assert result.num_points == 1 and result.num_blank == 0
+
+
+def test_dead_fleet_terminates_after_max_attempts(tmp_path):
+    fleet = FakeFleet(n=1)
+    fleet.set_behavior(0, lambda method, path:
+                       (500, {}, b'{"error": "boom"}')
+                       if path == "/v1/evaluate" else None)
+    spec = make_spec(methods=("classic",), periods=(500,), seed_counts=(1,))
+    config = FleetConfig(max_attempts=2, backoff_base_s=0.01,
+                         backoff_cap_s=0.02, quarantine_after=100)
+    with pytest.raises(SweepError, match="after 2 attempts"):
+        run_campaign_distributed(spec, tmp_path / "journal.jsonl",
+                                 fleet.urls(), fleet=config, http=fleet.http)
+
+
+def test_blank_cells_journal_and_count_like_local(tmp_path):
+    spec = make_spec(machines=("magnycours",), methods=("classic", "lbr"),
+                     periods=(500,), seed_counts=(1,))
+    fleet = FakeFleet(n=2)
+    with collecting() as collector:
+        result, _ = run_campaign_distributed(
+            spec, tmp_path / "journal.jsonl", fleet.urls(), http=fleet.http)
+    assert result.num_blank == 1
+    assert collector.metrics.counters()["sweep.cells_skipped"] == 1
+
+
+def test_run_campaign_dir_merges_fleet_into_manifest(tmp_path, monkeypatch):
+    fleet = FakeFleet(n=2)
+    monkeypatch.setattr(
+        "repro.sweep.run_campaign_distributed",
+        functools.partial(run_campaign_distributed, http=fleet.http))
+    spec = make_spec(methods=("classic",), periods=(500,), seed_counts=(1,))
+    run_campaign_dir(spec, tmp_path, workers=fleet.urls())
+
+    manifest = json.loads((tmp_path / "campaign.meta.json").read_text())
+    assert manifest["config"]["workers"] == fleet.urls()
+    assert manifest["fleet"]["coordinator_version"] == __version__
+    assert manifest["fleet"]["cells_dispatched"] == 1
+    assert [w["url"] for w in manifest["fleet"]["workers"]] == fleet.urls()
+    assert sum(w["cells_ok"] for w in manifest["fleet"]["workers"]) == 1
+
+
+def test_distributed_campaign_against_live_daemons(tmp_path):
+    """End to end over real sockets: two daemons, default transport."""
+    from repro.serve import ProfilingServer, ServerConfig
+
+    spec = make_spec(methods=("classic",), periods=(500, 1000),
+                     seed_counts=(1,))
+    local_dir = tmp_path / "local"
+    local = run_campaign_dir(spec, local_dir)
+    write_reports(local, local_dir)
+
+    servers = [ProfilingServer(ServerConfig(port=0, workers=1, queue_size=8))
+               for _ in range(2)]
+    for server in servers:
+        server.start()
+    try:
+        fleet_dir = tmp_path / "fleet"
+        run_campaign_dir(spec, fleet_dir,
+                         workers=[server.url for server in servers])
+    finally:
+        for server in servers:
+            server.drain(timeout=30.0)
+            server.stop()
+
+    assert (fleet_dir / "campaign.json").read_bytes() == \
+        (local_dir / "campaign.json").read_bytes()
+    for name in REPORT_FILES:
+        assert (fleet_dir / name).read_bytes() == \
+            (local_dir / name).read_bytes()
+    manifest = json.loads((fleet_dir / "campaign.meta.json").read_text())
+    assert len(manifest["fleet"]["workers"]) == 2
