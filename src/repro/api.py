@@ -48,6 +48,8 @@ from repro.core.tables import (
     build_table1,
     build_table2,
 )
+from repro.fidelity.metrics import TOP_N_DEFAULT
+from repro.fidelity.stats import FidelityStats
 from repro.sweep import (
     CampaignResult,
     CampaignSpec,
@@ -69,6 +71,7 @@ __all__ = [
     "EvaluateRequest",
     "EvaluateResult",
     "ExperimentConfig",
+    "FidelityStats",
     "FleetConfig",
     "FleetReport",
     "Harness",
@@ -82,6 +85,7 @@ __all__ = [
     "load_table",
     "run_bench",
     "run_campaign",
+    "run_fidelity",
     "run_hammer",
     "run_table1",
     "run_table2",
@@ -129,14 +133,20 @@ class EvaluateRequest:
     repeats: int = 5
     seed_base: int = 100
     engine: str = DEFAULT_ENGINE
+    fidelity: bool = False
+    fidelity_top_n: int = TOP_N_DEFAULT
     schema_version: int = API_SCHEMA_VERSION
 
     #: JSON field names, in canonical order.  ``engine`` is additive and
     #: defaulted: absent on the wire it resolves to the reference engine,
     #: and :meth:`to_dict` omits it at the default, so pre-engine clients
     #: see byte-identical responses — no ``API_SCHEMA_VERSION`` bump.
+    #: ``fidelity`` / ``fidelity_top_n`` follow the same additive pattern:
+    #: off the wire at their defaults, so a request that never asks for
+    #: fidelity serializes (and answers) exactly as before.
     FIELDS = ("machine", "workload", "method", "period", "scale",
-              "repeats", "seed_base", "engine", "schema_version")
+              "repeats", "seed_base", "engine", "fidelity",
+              "fidelity_top_n", "schema_version")
 
     def validate(self) -> "EvaluateRequest":
         """Raise :class:`RequestError` unless every field is usable."""
@@ -178,6 +188,12 @@ class EvaluateRequest:
             validate_engine(self.engine)
         except PMUConfigError as exc:
             raise RequestError(str(exc)) from None
+        if not isinstance(self.fidelity, bool):
+            raise RequestError("fidelity must be a boolean")
+        if (not isinstance(self.fidelity_top_n, int)
+                or isinstance(self.fidelity_top_n, bool)
+                or self.fidelity_top_n < 1):
+            raise RequestError("fidelity_top_n must be a positive integer")
         return self
 
     def resolved(self) -> "EvaluateRequest":
@@ -212,9 +228,14 @@ class EvaluateRequest:
     def to_dict(self) -> dict[str, object]:
         document = {name: getattr(self, name) for name in self.FIELDS}
         # The default engine stays off the wire: responses for requests
-        # that never mentioned engines remain byte-identical.
+        # that never mentioned engines remain byte-identical.  Likewise
+        # fidelity: a request that never asked for it carries no trace.
         if self.engine == DEFAULT_ENGINE:
             del document["engine"]
+        if not self.fidelity:
+            del document["fidelity"]
+        if self.fidelity_top_n == TOP_N_DEFAULT:
+            del document["fidelity_top_n"]
         return document
 
     @classmethod
@@ -253,11 +274,16 @@ class EvaluateResult:
     ``stats`` is ``None`` for the paper's blank cells (method not
     implementable on the machine); the carried ``request`` always has its
     period resolved, so the document fully identifies the experiment.
+
+    ``fidelity`` is populated only when the request asked for it
+    (``request.fidelity``) and the cell is not blank; it is absent from
+    the document otherwise, so pre-fidelity responses stay byte-identical.
     """
 
     request: EvaluateRequest
     stats: AccuracyStats | None
     schema_version: int = API_SCHEMA_VERSION
+    fidelity: FidelityStats | None = None
 
     @property
     def blank(self) -> bool:
@@ -273,12 +299,15 @@ class EvaluateResult:
                 "std_error": self.stats.std_error,
                 "repeats": self.stats.repeats,
             }
-        return {
+        document = {
             "schema_version": self.schema_version,
             "request": self.request.to_dict(),
             "blank": self.blank,
             "stats": stats,
         }
+        if self.fidelity is not None:
+            document["fidelity"] = self.fidelity.to_dict()
+        return document
 
     def to_json(self) -> str:
         """Canonical JSON encoding — sorted keys, compact separators,
@@ -304,7 +333,11 @@ class EvaluateResult:
                 method=stats_doc["method"],
                 errors=tuple(float(e) for e in stats_doc["errors"]),
             )
-        return cls(request=request, stats=stats)
+        fidelity_doc = data.get("fidelity")
+        fidelity = None
+        if fidelity_doc is not None:
+            fidelity = FidelityStats.from_dict(fidelity_doc)
+        return cls(request=request, stats=stats, fidelity=fidelity)
 
 
 def evaluate_request(
@@ -328,7 +361,12 @@ def evaluate_request(
     if harness is None:
         harness = _harness(request.config(), cache)
     stats = harness.evaluate_cell(request.spec(), abort=abort)
-    return EvaluateResult(request=request, stats=stats)
+    fidelity = None
+    if request.fidelity and stats is not None:
+        fidelity = harness.evaluate_cell_fidelity(
+            request.spec(), top_n=request.fidelity_top_n, abort=abort,
+        )
+    return EvaluateResult(request=request, stats=stats, fidelity=fidelity)
 
 
 def run_table1(
@@ -373,6 +411,34 @@ def evaluate_cell(
     """
     request = EvaluateRequest.from_spec(spec, config)
     return evaluate_request(request, cache=cache).stats
+
+
+def run_fidelity(
+    machine: str,
+    workload: str,
+    method: str,
+    *,
+    period: int | None = None,
+    top_n: int = TOP_N_DEFAULT,
+    config: ExperimentConfig | None = None,
+    cache: CacheArg = None,
+    engine: str = DEFAULT_ENGINE,
+) -> FidelityStats | None:
+    """Score one cell's consumer-outcome fidelity (DESIGN.md §11).
+
+    Returns ``None`` for the paper's blank cells.  Routes through
+    :func:`evaluate_request` with ``fidelity=True``, so the stats match
+    byte for byte what ``repro-pmu fidelity`` prints and what the serve
+    daemon returns for the same request.
+    """
+    config = config or ExperimentConfig()
+    request = EvaluateRequest(
+        machine=machine, workload=workload, method=method, period=period,
+        scale=config.scale, repeats=config.repeats,
+        seed_base=config.seed_base, engine=engine,
+        fidelity=True, fidelity_top_n=top_n,
+    )
+    return evaluate_request(request, cache=cache).fidelity
 
 
 def run_campaign(

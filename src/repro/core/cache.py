@@ -70,6 +70,7 @@ _DEFAULT_ROOT = "~/.cache/repro"
 #: daemon's federation routes accept exactly these kinds.
 KIND_SUFFIXES: dict[str, str] = {
     "stats": ".json",
+    "fidelity": ".json",
     "trace": ".npz",
     "reference": ".npz",
 }
@@ -267,6 +268,33 @@ class ArtifactCache:
             "errors": list(stats.errors),
         }
         self._store("stats", digest, ".json",
+                    json.dumps(document).encode("utf-8"))
+
+    # -- fidelity stats ----------------------------------------------------
+
+    def get_fidelity(self, digest: str):
+        """Load one cell's :class:`FidelityStats`, or ``None`` on a miss."""
+        from repro.fidelity.stats import FidelityStats  # lazy: keep import light
+
+        data = self._load("fidelity", digest, ".json")
+        if data is None:
+            self._miss()
+            return None
+        try:
+            document = json.loads(data.decode("utf-8"))
+            if document.pop("format") != CACHE_FORMAT_VERSION:
+                raise ValueError("format mismatch")
+            stats = FidelityStats.from_dict(document)
+        except Exception:
+            self._miss(corrupt=True)
+            return None
+        self._hit()
+        return stats
+
+    def put_fidelity(self, digest: str, stats) -> None:
+        """Persist one cell's :class:`FidelityStats`."""
+        document = {"format": CACHE_FORMAT_VERSION, **stats.to_dict()}
+        self._store("fidelity", digest, ".json",
                     json.dumps(document).encode("utf-8"))
 
     # -- numpy arrays (traces, reference counts) ---------------------------

@@ -164,6 +164,26 @@ def _cmd_list(_: argparse.Namespace, out: Emitter) -> int:
     return 0
 
 
+def _cmd_workloads(args: argparse.Namespace, out: Emitter) -> int:
+    workloads = list_workloads(category=args.category)
+    if args.json:
+        out.result(json.dumps([
+            {
+                "name": w.name,
+                "category": w.category,
+                "description": w.description,
+                "default_period": w.default_period,
+            }
+            for w in workloads
+        ], indent=2))
+        return 0
+    out.result(f"{'name':16s} {'category':12s} {'period':>7s}  description")
+    for w in workloads:
+        out.result(f"{w.name:16s} {w.category:12s} {w.default_period:7d}  "
+                   f"{w.description}")
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace, out: Emitter) -> int:
     table = build_table1(_make_harness(args), jobs=args.jobs,
                          engine=args.engine)
@@ -254,6 +274,19 @@ def _sweep_progress(out_dir: Path) -> dict[str, object]:
     done = sum(1 for p in points if p.point_id in completed)
     blank = sum(1 for p in points
                 if completed.get(p.point_id, ()) is None)
+
+    def axis(key_of) -> dict[str, dict[str, int]]:
+        progress: dict[str, dict[str, int]] = {}
+        for p in points:
+            entry = progress.setdefault(str(key_of(p)),
+                                        {"done": 0, "total": 0})
+            entry["total"] += 1
+            if p.point_id in completed:
+                entry["done"] += 1
+        return progress
+
+    from repro.workloads.registry import get_workload
+
     return {
         "name": spec.name,
         "spec_digest": spec.digest(),
@@ -262,6 +295,14 @@ def _sweep_progress(out_dir: Path) -> dict[str, object]:
         "cells_blank": blank,
         "cells_remaining": len(points) - done,
         "complete": done == len(points),
+        "axes": {
+            "workloads": axis(lambda p: p.cell.workload),
+            "categories": axis(
+                lambda p: get_workload(p.cell.workload).category),
+            "methods": axis(lambda p: p.cell.method),
+            "machines": axis(lambda p: p.cell.machine),
+            "periods": axis(lambda p: p.cell.period),
+        },
     }
 
 
@@ -276,6 +317,14 @@ def _cmd_sweep_status(args: argparse.Namespace, out: Emitter) -> int:
     out.result(f"campaign:  {status['name']}")
     out.result(f"cells:     {status['cells_done']}/{status['cells_total']} "
                f"done ({status['cells_blank']} blank)")
+    for axis_name in ("workloads", "categories", "methods", "machines",
+                      "periods"):
+        progress = status["axes"][axis_name]
+        rendered = ", ".join(
+            f"{value} {entry['done']}/{entry['total']}"
+            for value, entry in progress.items()
+        )
+        out.result(f"{axis_name + ':':10s} {rendered}")
     if status["complete"]:
         out.result("state:     complete")
     else:
@@ -338,6 +387,56 @@ def _cmd_run(args: argparse.Namespace, out: Emitter) -> int:
     out.result(f"{args.machine}/{args.workload}/{args.method}: {stats} "
                f"(over {stats.repeats} runs)")
     return 0
+
+
+def _cmd_fidelity(args: argparse.Namespace, out: Emitter) -> int:
+    from repro.api import EvaluateRequest, evaluate_request
+
+    methods = [m for part in args.method
+               for m in part.split(",") if m.strip()]
+    # One shared harness: traces and references are built once per
+    # workload however many methods are scored against them.
+    harness = _make_harness(args)
+    results = []
+    for method in methods:
+        request = EvaluateRequest(
+            machine=args.machine, workload=args.workload, method=method,
+            period=args.period, scale=args.scale, repeats=args.repeats,
+            seed_base=args.seed, engine=args.engine,
+            fidelity=True, fidelity_top_n=args.top_n,
+        )
+        results.append(evaluate_request(request, harness=harness))
+    if args.json:
+        # One canonical EvaluateResult document per method, byte-identical
+        # to a served POST /v1/evaluate response for the same request.
+        for result in results:
+            out.result(result.to_json(), end="")
+        return 0
+    scored = 0
+    for result in results:
+        label = (f"{args.machine}/{args.workload}/"
+                 f"{result.request.method}@{result.request.period}")
+        if result.blank:
+            out.result(f"{label}: method not available on {args.machine}")
+            continue
+        scored += 1
+        fid = result.fidelity
+        out.result(f"{label} ({fid.repeats} runs):")
+        for field, title in (("jaccard", f"jaccard@{fid.top_n}"),
+                             ("rank", "rank"), ("inline", "inline"),
+                             ("layout", "layout")):
+            ci = fid.score_ci(field)
+            out.result(f"  {title:12s} {ci.mean:.4f} "
+                       f"[{ci.lo:.4f}, {ci.hi:.4f}]")
+        ci = fid.convergence_ci()
+        if ci is None:
+            out.result(f"  {'convergence':12s} never "
+                       f"(0/{fid.repeats} seeds converged)")
+        else:
+            out.result(f"  {'convergence':12s} {ci.mean:.1f} samples "
+                       f"[{ci.lo:.1f}, {ci.hi:.1f}] "
+                       f"({fid.converged_repeats}/{fid.repeats} seeds)")
+    return 0 if scored else 2
 
 
 def _cmd_serve(args: argparse.Namespace, out: Emitter) -> int:
@@ -446,6 +545,18 @@ def main(argv: list[str] | None = None) -> int:
     pl = sub.add_parser("list", help="list machines, workloads, methods")
     _add_obs_args(pl)
     pl.set_defaults(func=_cmd_list)
+
+    pw = sub.add_parser(
+        "workloads",
+        help="list registered workloads (name, category, period, description)",
+    )
+    pw.add_argument("--category", default=None,
+                    help="only workloads of this category "
+                         "(kernel, app, phase, interleaved, memory)")
+    pw.add_argument("--json", action="store_true",
+                    help="machine-readable listing")
+    _add_obs_args(pw)
+    pw.set_defaults(func=_cmd_workloads)
 
     p1 = sub.add_parser("table1", help="regenerate Table 1 (kernels)")
     _add_harness_args(p1)
@@ -564,6 +675,30 @@ def main(argv: list[str] | None = None) -> int:
                     help="emit the canonical EvaluateResult document "
                          "(byte-identical to a served POST /v1/evaluate)")
     pr.set_defaults(func=_cmd_run)
+
+    pf = sub.add_parser(
+        "fidelity",
+        help="score consumer-outcome fidelity of sampling methods "
+             "(top-N ordering, inlining/layout decisions, convergence)",
+    )
+    _add_harness_args(pf)
+    _add_engine_arg(pf)
+    _add_obs_args(pf)
+    pf.add_argument("--machine", required=True)
+    pf.add_argument("--workload", required=True)
+    pf.add_argument("--method", required=True, action="append",
+                    metavar="METHOD[,METHOD...]",
+                    help="sampling method to score (repeat or "
+                         "comma-separate to compare several)")
+    pf.add_argument("--period", type=int, default=None,
+                    help="round base period (default: workload's)")
+    pf.add_argument("--top-n", type=int, default=10, metavar="N",
+                    help="hot-block set size for the ordering scores "
+                         "(default 10)")
+    pf.add_argument("--json", action="store_true",
+                    help="emit one canonical EvaluateResult document per "
+                         "method (byte-identical to served responses)")
+    pf.set_defaults(func=_cmd_fidelity)
 
     psv = sub.add_parser(
         "serve",

@@ -124,6 +124,7 @@ class Harness:
         self._traces: dict[str, Trace] = {}
         self._references: dict[str, ReferenceCounts] = {}
         self._cells: dict[CellSpec, AccuracyStats] = {}
+        self._fidelity: dict[tuple[CellSpec, int], object] = {}
         self._engines: dict[str, Engine] = {}
 
     # -- engines -----------------------------------------------------------
@@ -159,6 +160,12 @@ class Harness:
                             scale=self.config.scale, uarch=spec.machine,
                             method=spec.method, period=spec.period,
                             seeds=list(self.config.seeds))
+
+    def _fidelity_digest(self, spec: CellSpec, top_n: int) -> str:
+        return cache_digest(kind="fidelity", workload=spec.workload,
+                            scale=self.config.scale, uarch=spec.machine,
+                            method=spec.method, period=spec.period,
+                            seeds=list(self.config.seeds), top_n=top_n)
 
     # -- artifacts ---------------------------------------------------------
 
@@ -295,6 +302,55 @@ class Harness:
         self._cells[spec] = stats
         if self.cache is not None:
             self.cache.put_stats(self._cell_digest(spec), stats)
+        return stats
+
+    def evaluate_cell_fidelity(
+        self,
+        spec: CellSpec,
+        top_n: int = 10,
+        abort: Callable[[], bool] | None = None,
+    ):
+        """Consumer-outcome :class:`~repro.fidelity.stats.FidelityStats`
+        for one cell; ``None`` for the paper's blank cells.
+
+        Same lookup order and abort semantics as :meth:`evaluate_cell`;
+        the persistent entry lives under its own ``fidelity`` cache kind
+        (digest additionally keyed by ``top_n``), so enabling fidelity
+        never perturbs existing ``stats`` digests.
+        """
+        from repro.fidelity.evaluate import evaluate_fidelity
+
+        spec = spec.resolved(spec.period or self.period_for(spec.workload))
+        key = (spec, top_n)
+        if key in self._fidelity:
+            count("harness.fidelity_cache_hits")
+            return self._fidelity[key]
+        uarch = get_uarch(spec.machine)
+        if not method_available(spec.method, uarch):
+            return None
+        if self.cache is not None:
+            stats = self.cache.get_fidelity(self._fidelity_digest(spec, top_n))
+            if stats is not None:
+                self._fidelity[key] = stats
+                return stats
+        with span("fidelity_cell", machine=spec.machine,
+                  workload=spec.workload, method=spec.method,
+                  period=spec.period, engine=spec.engine):
+            stats = evaluate_fidelity(
+                self.execution(spec.machine, spec.workload,
+                               engine=spec.engine),
+                spec.method,
+                spec.period,
+                seeds=self.config.seeds,
+                reference=self.reference(spec.workload),
+                top_n=top_n,
+                abort=abort,
+                engine=self.engine(spec.engine),
+            )
+        count("harness.fidelity_evaluated")
+        self._fidelity[key] = stats
+        if self.cache is not None:
+            self.cache.put_fidelity(self._fidelity_digest(spec, top_n), stats)
         return stats
 
     def cell(

@@ -82,6 +82,8 @@ def _evaluate_group(
     cache_root: str | None,
     specs: tuple[CellSpec, ...],
     observed: bool,
+    fidelity: bool = False,
+    fidelity_top_n: int = 10,
 ) -> tuple[list[CellResult], dict[str, float], list]:
     """Worker entry point: evaluate one workload's cells.
 
@@ -89,6 +91,10 @@ def _evaluate_group(
     observed, installs a private collector (so worker counters never race
     the parent's) and returns its counter snapshot and span records for
     merging; otherwise collection stays disabled in the worker too.
+
+    With ``fidelity`` the value slot of each result is the
+    ``(AccuracyStats | None, FidelityStats | None)`` pair described by
+    :func:`evaluate_cells`.
     """
     collector = Collector() if observed else None
     previous = install(collector) if observed else None
@@ -98,8 +104,15 @@ def _evaluate_group(
         results: list[CellResult] = []
         for spec in specs:
             started = time.perf_counter()
-            stats = harness.evaluate_cell(spec)
-            results.append((spec, stats, time.perf_counter() - started))
+            value = harness.evaluate_cell(spec)
+            if fidelity:
+                fid = None
+                if value is not None:
+                    fid = harness.evaluate_cell_fidelity(
+                        spec, top_n=fidelity_top_n
+                    )
+                value = (value, fid)
+            results.append((spec, value, time.perf_counter() - started))
         if collector is None:
             return results, {}, []
         return results, collector.metrics.counters(), collector.spans
@@ -116,6 +129,8 @@ def evaluate_cells(
     harness: Harness | None = None,
     on_result: ProgressFn | None = None,
     abort: Callable[[], bool] | None = None,
+    fidelity: bool = False,
+    fidelity_top_n: int = 10,
 ) -> dict[CellSpec, AccuracyStats | None]:
     """Evaluate many cells, serially or across ``jobs`` worker processes.
 
@@ -128,6 +143,11 @@ def evaluate_cells(
     ``abort`` is polled between cells (serial) or between repeats inside a
     cell and between group completions (parallel); a truthy return raises
     :class:`EvaluationAborted` after cancelling any not-yet-started groups.
+
+    ``fidelity`` additionally scores each non-blank cell's consumer
+    fidelity (DESIGN.md §11); the value seen by ``results`` and
+    ``on_result`` then becomes an ``(AccuracyStats | None,
+    FidelityStats | None)`` pair instead of bare stats.
     """
     total = len(specs)
     results: dict[CellSpec, AccuracyStats | None] = {}
@@ -137,11 +157,18 @@ def evaluate_cells(
         harness = harness or Harness(config, cache=cache)
         for spec in specs:
             started = time.perf_counter()
-            stats = harness.evaluate_cell(spec, abort=abort)
-            results[spec] = stats
+            value = harness.evaluate_cell(spec, abort=abort)
+            if fidelity:
+                fid = None
+                if value is not None:
+                    fid = harness.evaluate_cell_fidelity(
+                        spec, top_n=fidelity_top_n, abort=abort
+                    )
+                value = (value, fid)
+            results[spec] = value
             done += 1
             if on_result is not None:
-                on_result(spec, stats, time.perf_counter() - started,
+                on_result(spec, value, time.perf_counter() - started,
                           done, total)
         return results
 
@@ -154,7 +181,7 @@ def evaluate_cells(
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(_evaluate_group, config, cache_root, group,
-                            observed)
+                            observed, fidelity, fidelity_top_n)
                 for _, group in groups
             ]
             for future in as_completed(futures):

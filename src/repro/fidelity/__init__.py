@@ -1,0 +1,45 @@
+"""Consumer-outcome fidelity scoring of sampling methods (DESIGN.md §11).
+
+The paper scores sampling methods by per-block instruction-count error;
+this package scores them by what a *profile consumer* would do with the
+result: does the sampled profile rank the true top-N hot blocks correctly
+(:mod:`metrics`), drive the same inlining / block-layout decisions as
+ground truth (:mod:`decisions`), and converge to the right decision with
+few samples (:mod:`evaluate`)? Results travel as schema-versioned
+:class:`~repro.fidelity.stats.FidelityStats` alongside ``AccuracyStats``
+through the cache, sweep journals, reports, and ``/v1/evaluate``.
+"""
+
+from repro.fidelity.decisions import (
+    HOT_COVERAGE,
+    INLINE_SHARE_THRESHOLD,
+    inline_candidates,
+    layout_agreement,
+    layout_hot_blocks,
+    selection_agreement,
+)
+from repro.fidelity.evaluate import convergence_ladder, evaluate_fidelity
+from repro.fidelity.metrics import (
+    TOP_N_DEFAULT,
+    jaccard_at_n,
+    top_n_blocks,
+    weighted_rank_agreement,
+)
+from repro.fidelity.stats import FIDELITY_SCHEMA_VERSION, FidelityStats
+
+__all__ = [
+    "FIDELITY_SCHEMA_VERSION",
+    "FidelityStats",
+    "HOT_COVERAGE",
+    "INLINE_SHARE_THRESHOLD",
+    "TOP_N_DEFAULT",
+    "convergence_ladder",
+    "evaluate_fidelity",
+    "inline_candidates",
+    "jaccard_at_n",
+    "layout_agreement",
+    "layout_hot_blocks",
+    "selection_agreement",
+    "top_n_blocks",
+    "weighted_rank_agreement",
+]

@@ -1,0 +1,159 @@
+"""Evaluate consumer-outcome fidelity of one method over one execution.
+
+Mirrors :func:`repro.core.runner.evaluate_method` — same seeds, same
+per-seed generators, the method resolved once — but scores each repeat by
+what a profile *consumer* would do with it (see :mod:`repro.fidelity`).
+
+Sample-efficiency is measured by replaying each repeat's sample batch in
+prefixes: the batch is cut at a geometric ladder of sample counts, each
+prefix re-attributed exactly as the full batch was, and the inlining
+decision recomputed. The convergence point is the smallest ladder count
+from which the decision matches the reference decision at every larger
+ladder count — i.e. the decision has not just matched once but *stayed*
+matched. Everything is a pure function of the batch, so results are
+bit-identical across engines, ``--jobs``, and local vs distributed runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.errors import EvaluationAborted
+from repro.cpu.machine import Execution
+from repro.instrumentation.reference import ReferenceCounts, collect_reference
+from repro.obs import count, span
+from repro.pmu.sampler import SampleBatch
+from repro.core.methods import ResolvedMethod, resolve_method
+from repro.core.runner import _ATTRIBUTORS, run_method
+from repro.fidelity.decisions import (
+    inline_candidates,
+    layout_agreement,
+    selection_agreement,
+)
+from repro.fidelity.metrics import (
+    TOP_N_DEFAULT,
+    jaccard_at_n,
+    weighted_rank_agreement,
+)
+from repro.fidelity.stats import FidelityStats
+
+
+def convergence_ladder(num_samples: int) -> list[int]:
+    """Sample-count cut points: powers of two, plus the full batch."""
+    ladder: list[int] = []
+    m = 1
+    while m < num_samples:
+        ladder.append(m)
+        m *= 2
+    if num_samples > 0:
+        ladder.append(num_samples)
+    return ladder
+
+
+def _prefix_batch(batch: SampleBatch, m: int) -> SampleBatch:
+    """The batch a profiler would hold after its first ``m`` samples."""
+    lbr = batch.lbr_ranges
+    return SampleBatch(
+        execution=batch.execution,
+        config=batch.config,
+        trigger_idx=batch.trigger_idx[:m],
+        reported_idx=batch.reported_idx[:m],
+        period_weights=batch.period_weights[:m],
+        lbr_ranges=None if lbr is None else (lbr[0][:m], lbr[1][:m]),
+        dropped=0,
+    )
+
+
+def _convergence_samples(
+    batch: SampleBatch,
+    resolved: ResolvedMethod,
+    method_key: str,
+    ref_inline: frozenset[int],
+) -> int | None:
+    """Samples needed for the inlining decision to converge, else None."""
+    attribute = _ATTRIBUTORS[resolved.attribution]
+    ladder = convergence_ladder(batch.num_samples)
+    matches: list[bool] = []
+    for m in ladder:
+        profile = attribute(_prefix_batch(batch, m), method=method_key)
+        decision = inline_candidates(profile.function_instr_estimates())
+        matches.append(decision == ref_inline)
+    # Smallest ladder point from which every later decision also matches.
+    converged_from: int | None = None
+    for m, ok in zip(reversed(ladder), reversed(matches)):
+        if not ok:
+            break
+        converged_from = m
+    return converged_from
+
+
+def evaluate_fidelity(
+    execution: Execution,
+    method_key: str,
+    base_period: int,
+    seeds: Iterable[int] = range(5),
+    reference: ReferenceCounts | None = None,
+    top_n: int = TOP_N_DEFAULT,
+    abort: Callable[[], bool] | None = None,
+    engine=None,
+) -> FidelityStats:
+    """Score one method's consumer fidelity over seeded repeats.
+
+    Seeding matches :func:`~repro.core.runner.evaluate_method` run for
+    run, so fidelity describes exactly the profiles the accuracy numbers
+    describe. ``abort`` is polled between repeats; ``engine`` is forwarded
+    to :func:`~repro.core.runner.run_method` (bit-identical batches, so
+    fidelity never depends on the engine).
+    """
+    if reference is None:
+        with span("reference", workload=execution.program.name):
+            reference = collect_reference(execution.trace)
+    resolved = resolve_method(method_key, execution.uarch, base_period)
+    ref_blocks = reference.block_instr_counts.astype(np.float64)
+    ref_inline = inline_candidates(
+        reference.function_instr_counts().astype(np.float64)
+    )
+
+    jaccard: list[float] = []
+    rank: list[float] = []
+    inline: list[float] = []
+    layout: list[float] = []
+    convergence: list[int | None] = []
+    with span("fidelity", method=method_key,
+              machine=execution.uarch.name,
+              workload=execution.program.name,
+              period=base_period):
+        for seed in seeds:
+            if abort is not None and abort():
+                raise EvaluationAborted(
+                    f"fidelity evaluation of {method_key!r} aborted after "
+                    f"{len(jaccard)} of the requested repeats"
+                )
+            profile, batch = run_method(
+                execution, method_key, base_period,
+                rng=np.random.default_rng(seed), normalize=False,
+                resolved=resolved, engine=engine,
+            )
+            est_blocks = profile.block_instr_estimates
+            jaccard.append(jaccard_at_n(est_blocks, ref_blocks, top_n))
+            rank.append(weighted_rank_agreement(est_blocks, ref_blocks, top_n))
+            inline.append(selection_agreement(
+                inline_candidates(profile.function_instr_estimates()),
+                ref_inline,
+            ))
+            layout.append(layout_agreement(est_blocks, ref_blocks))
+            convergence.append(_convergence_samples(
+                batch, resolved, method_key, ref_inline,
+            ))
+    count("fidelity.repeats", len(jaccard))
+    return FidelityStats(
+        method=method_key,
+        top_n=top_n,
+        jaccard=tuple(jaccard),
+        rank=tuple(rank),
+        inline=tuple(inline),
+        layout=tuple(layout),
+        convergence=tuple(convergence),
+    )

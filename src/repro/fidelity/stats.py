@@ -1,0 +1,160 @@
+"""Per-cell fidelity statistics and their wire form.
+
+:class:`FidelityStats` is the fidelity-side sibling of
+:class:`~repro.core.stats.AccuracyStats`: one value per seeded repeat for
+each consumer-outcome score, plus the per-seed sample count at which the
+inlining decision converged (``None`` = never, within the run's samples).
+
+The wire form (:meth:`FidelityStats.to_dict`) is schema-versioned and
+carries only the raw per-seed values — aggregates (means, bootstrap CIs)
+are recomputed by consumers, so journals, cache entries, and served
+responses stay small and byte-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+#: Version of the FidelityStats wire schema.
+FIDELITY_SCHEMA_VERSION = 1
+
+_SCORE_FIELDS = ("jaccard", "rank", "inline", "layout")
+
+
+@dataclass(frozen=True)
+class FidelityStats:
+    """Consumer-outcome fidelity of one method over repeated runs."""
+
+    method: str
+    top_n: int
+    #: Top-N membership fidelity (Jaccard@N), one value per seed.
+    jaccard: tuple[float, ...]
+    #: Weighted top-N ordering agreement, one value per seed.
+    rank: tuple[float, ...]
+    #: Inlining-candidate selection agreement, one value per seed.
+    inline: tuple[float, ...]
+    #: Hot/cold layout classification agreement, one value per seed.
+    layout: tuple[float, ...]
+    #: Samples needed for the inlining decision to converge to the
+    #: reference decision (and stay converged); ``None`` = never.
+    convergence: tuple[int | None, ...]
+
+    def __post_init__(self) -> None:
+        if not self.jaccard:
+            raise AnalysisError(
+                f"no fidelity samples for method {self.method!r}"
+            )
+        if self.top_n < 1:
+            raise AnalysisError(f"top_n must be positive, got {self.top_n}")
+        n = len(self.jaccard)
+        for name in (*_SCORE_FIELDS, "convergence"):
+            values = getattr(self, name)
+            if len(values) != n:
+                raise AnalysisError(
+                    f"fidelity field {name!r} has {len(values)} values, "
+                    f"expected {n}"
+                )
+        for name in _SCORE_FIELDS:
+            for v in getattr(self, name):
+                if not 0.0 <= v <= 1.0:
+                    raise AnalysisError(
+                        f"fidelity score {name!r} out of [0, 1]: {v}"
+                    )
+        for c in self.convergence:
+            if c is not None and c < 1:
+                raise AnalysisError(f"convergence sample count not positive: {c}")
+
+    @property
+    def repeats(self) -> int:
+        return len(self.jaccard)
+
+    @property
+    def mean_jaccard(self) -> float:
+        return float(np.mean(self.jaccard))
+
+    @property
+    def mean_rank(self) -> float:
+        return float(np.mean(self.rank))
+
+    @property
+    def mean_inline(self) -> float:
+        return float(np.mean(self.inline))
+
+    @property
+    def mean_layout(self) -> float:
+        return float(np.mean(self.layout))
+
+    @property
+    def converged_repeats(self) -> int:
+        """Seeds whose inlining decision converged within the run."""
+        return sum(1 for c in self.convergence if c is not None)
+
+    def converged_samples(self) -> tuple[int, ...]:
+        """The convergence sample counts of the seeds that converged."""
+        return tuple(c for c in self.convergence if c is not None)
+
+    def score_ci(self, field: str):
+        """Seeded bootstrap CI on one score field ('jaccard', 'rank', ...)."""
+        if field not in _SCORE_FIELDS:
+            raise AnalysisError(f"unknown fidelity score field {field!r}")
+        from repro.sweep.aggregate import bootstrap_ci
+
+        return bootstrap_ci(getattr(self, field))
+
+    def convergence_ci(self):
+        """Seeded bootstrap CI on converged sample counts (None if none)."""
+        converged = self.converged_samples()
+        if not converged:
+            return None
+        from repro.sweep.aggregate import bootstrap_ci
+
+        return bootstrap_ci(converged)
+
+    def to_dict(self) -> dict:
+        """Wire/cache form: raw per-seed values, schema-versioned."""
+        return {
+            "schema_version": FIDELITY_SCHEMA_VERSION,
+            "method": self.method,
+            "top_n": self.top_n,
+            "jaccard": list(self.jaccard),
+            "rank": list(self.rank),
+            "inline": list(self.inline),
+            "layout": list(self.layout),
+            "convergence": list(self.convergence),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FidelityStats":
+        """Inverse of :meth:`to_dict` (validates via ``__post_init__``)."""
+        version = doc.get("schema_version")
+        if version != FIDELITY_SCHEMA_VERSION:
+            raise AnalysisError(
+                f"unsupported fidelity schema version {version!r} "
+                f"(supported: {FIDELITY_SCHEMA_VERSION})"
+            )
+        try:
+            return cls(
+                method=doc["method"],
+                top_n=doc["top_n"],
+                jaccard=tuple(float(v) for v in doc["jaccard"]),
+                rank=tuple(float(v) for v in doc["rank"]),
+                inline=tuple(float(v) for v in doc["inline"]),
+                layout=tuple(float(v) for v in doc["layout"]),
+                convergence=tuple(
+                    None if v is None else int(v) for v in doc["convergence"]
+                ),
+            )
+        except KeyError as exc:
+            raise AnalysisError(f"fidelity document missing {exc}") from None
+
+    def __str__(self) -> str:
+        return (
+            f"jaccard@{self.top_n} {self.mean_jaccard:.3f} "
+            f"rank {self.mean_rank:.3f} inline {self.mean_inline:.3f} "
+            f"layout {self.mean_layout:.3f} "
+            f"converged {self.converged_repeats}/{self.repeats}"
+        )

@@ -49,8 +49,10 @@ from repro.sweep.distributed import (
 from repro.sweep.aggregate import (
     BootstrapCI,
     CurvePoint,
+    FidelityRow,
     SummaryRow,
     bootstrap_ci,
+    fidelity_summary,
     period_sensitivity,
     seed_convergence,
     summarize,
@@ -76,6 +78,7 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "CurvePoint",
+    "FidelityRow",
     "FleetConfig",
     "FleetReport",
     "JournalState",
@@ -85,6 +88,7 @@ __all__ = [
     "SweepPoint",
     "WorkerState",
     "bootstrap_ci",
+    "fidelity_summary",
     "load_campaign",
     "load_journal",
     "log_spaced_periods",

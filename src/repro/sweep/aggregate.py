@@ -132,6 +132,79 @@ def summarize(result: "CampaignResult") -> list[SummaryRow]:
     return rows
 
 
+@dataclass(frozen=True)
+class FidelityRow:
+    """Pooled consumer fidelity of one (method, period) pair.
+
+    Scores pool per-seed values over workloads and machines at the
+    campaign's deepest seed count, same shape as :class:`SummaryRow`.
+    ``convergence`` is the CI over converged repeats' sample counts
+    (``None`` when no repeat converged); ``converged``/``repeats`` give
+    the convergence rate.
+    """
+
+    method: str
+    period: int
+    jaccard: BootstrapCI
+    rank: BootstrapCI
+    inline: BootstrapCI
+    layout: BootstrapCI
+    convergence: BootstrapCI | None
+    converged: int
+    repeats: int
+    cells: int
+
+
+def fidelity_summary(result: "CampaignResult") -> list[FidelityRow]:
+    """Method × period fidelity summary at the deepest seed count.
+
+    Rows follow the spec's method order, then ascending period; cells
+    without fidelity scores (blank cells, plain campaigns) contribute
+    nothing, so a plain campaign yields an empty list.
+    """
+    repeats = result.spec.max_repeats
+    pooled: dict[tuple[str, int], dict[str, list]] = {}
+    for point, fid in result.fidelity.items():
+        if point.repeats != repeats or fid is None:
+            continue
+        key = (point.cell.method, int(point.cell.period))
+        pool = pooled.setdefault(
+            key,
+            {"jaccard": [], "rank": [], "inline": [], "layout": [],
+             "convergence": [], "converged": [0], "repeats": [0],
+             "cells": [0]},
+        )
+        pool["jaccard"].extend(fid.jaccard)
+        pool["rank"].extend(fid.rank)
+        pool["inline"].extend(fid.inline)
+        pool["layout"].extend(fid.layout)
+        pool["convergence"].extend(fid.converged_samples())
+        pool["converged"][0] += fid.converged_repeats
+        pool["repeats"][0] += fid.repeats
+        pool["cells"][0] += 1
+    method_order = {m: i for i, m in enumerate(result.spec.methods)}
+    rows: list[FidelityRow] = []
+    for (method, period), pool in sorted(
+        pooled.items(), key=lambda kv: (method_order[kv[0][0]], kv[0][1])
+    ):
+        rows.append(FidelityRow(
+            method=method,
+            period=period,
+            jaccard=bootstrap_ci(pool["jaccard"]),
+            rank=bootstrap_ci(pool["rank"]),
+            inline=bootstrap_ci(pool["inline"]),
+            layout=bootstrap_ci(pool["layout"]),
+            convergence=(
+                bootstrap_ci(pool["convergence"])
+                if pool["convergence"] else None
+            ),
+            converged=pool["converged"][0],
+            repeats=pool["repeats"][0],
+            cells=pool["cells"][0],
+        ))
+    return rows
+
+
 def period_sensitivity(result: "CampaignResult") -> dict[str, list[CurvePoint]]:
     """Per-method err-vs-period curves at the deepest seed count."""
     curves: dict[str, list[CurvePoint]] = {}

@@ -205,6 +205,8 @@ def request_for(spec: CampaignSpec, point: SweepPoint):
         repeats=point.repeats,
         seed_base=spec.seed_base,
         engine=spec.engine,
+        fidelity=spec.fidelity,
+        fidelity_top_n=spec.fidelity_top_n,
     )
 
 
@@ -283,6 +285,9 @@ class _Coordinator:
         self.config = config
         self.http = http
         self.report = FleetReport(workers=workers)
+        #: Fidelity scores collected alongside ``fresh`` stats (fidelity
+        #: campaigns only; the result document carries both).
+        self.fresh_fidelity: dict[SweepPoint, object] = {}
 
     # -- dispatch ----------------------------------------------------------
 
@@ -446,7 +451,9 @@ class _Coordinator:
             worker.record_ok()
             stats = value.stats
             fresh[attempt.point] = stats
-            journal.record(attempt.point, stats)
+            if self.spec.fidelity:
+                self.fresh_fidelity[attempt.point] = value.fidelity
+            journal.record(attempt.point, stats, value.fidelity)
             count("sweep.cells_done")
             if stats is None:
                 count("sweep.cells_skipped")
@@ -510,8 +517,10 @@ def run_campaign_distributed(
     result = CampaignResult(spec=spec)
 
     completed: dict[str, tuple[float, ...] | None] = {}
+    state = None
     if resume and journal_path.exists():
-        completed = resume_state(spec, journal_path).completed
+        state = resume_state(spec, journal_path)
+        completed = state.completed
 
     pending: list[SweepPoint] = []
     done = 0
@@ -523,6 +532,8 @@ def run_campaign_distributed(
                                    errors=completed[point.point_id])
             )
             result.cells[point] = stats
+            if spec.fidelity and state is not None:
+                result.fidelity[point] = state.fidelity_for(point)
             done += 1
             count("sweep.cells_resumed")
             if stats is None:
@@ -547,8 +558,16 @@ def run_campaign_distributed(
             fresh = coordinator.run(pending, journal, on_complete)
             for point in pending:
                 result.cells[point] = fresh[point]
+                if spec.fidelity:
+                    result.fidelity[point] = (
+                        coordinator.fresh_fidelity.get(point)
+                    )
 
     # Expansion order, exactly like the local engine: resumed, fleet-run,
     # and local runs of one spec are indistinguishable downstream.
     result.cells = {point: result.cells[point] for point in points}
+    if spec.fidelity:
+        result.fidelity = {
+            point: result.fidelity.get(point) for point in points
+        }
     return result, coordinator.report

@@ -36,6 +36,7 @@ from repro.core.cache import ArtifactCache
 from repro.core.experiment import CellSpec, ExperimentConfig
 from repro.core.parallel import evaluate_cells
 from repro.core.stats import AccuracyStats
+from repro.fidelity.stats import FidelityStats
 from repro.sweep.journal import CampaignJournal, load_journal
 from repro.sweep.spec import CampaignSpec, SweepPoint
 
@@ -57,6 +58,11 @@ class CampaignResult:
 
     spec: CampaignSpec
     cells: dict[SweepPoint, AccuracyStats | None] = field(default_factory=dict)
+    #: Per-point consumer-fidelity scores (populated only for campaigns
+    #: run with ``spec.fidelity``; blank cells stay ``None``).
+    fidelity: dict[SweepPoint, FidelityStats | None] = field(
+        default_factory=dict
+    )
 
     # -- counts ------------------------------------------------------------
 
@@ -68,25 +74,38 @@ class CampaignResult:
     def num_blank(self) -> int:
         return sum(1 for stats in self.cells.values() if stats is None)
 
+    @property
+    def has_fidelity(self) -> bool:
+        """Whether any cell carries fidelity scores (gates report sections)."""
+        return any(fid is not None for fid in self.fidelity.values())
+
     # -- document round trip ----------------------------------------------
 
     def to_document(self) -> dict[str, object]:
-        """The machine-readable campaign document (raw per-seed errors)."""
+        """The machine-readable campaign document (raw per-seed errors).
+
+        Fidelity adds one additive per-cell key only on cells that carry
+        scores, so plain campaigns' documents stay byte-identical.
+        """
+        cells: list[dict[str, object]] = []
+        for point, stats in self.cells.items():
+            cell: dict[str, object] = {
+                "machine": point.cell.machine,
+                "workload": point.cell.workload,
+                "method": point.cell.method,
+                "period": point.cell.period,
+                "repeats": point.repeats,
+                "errors": None if stats is None else list(stats.errors),
+            }
+            fid = self.fidelity.get(point)
+            if fid is not None:
+                cell["fidelity"] = fid.to_dict()
+            cells.append(cell)
         return {
             "format": CAMPAIGN_DOCUMENT_VERSION,
             "spec": self.spec.to_dict(),
             "spec_digest": self.spec.digest(),
-            "cells": [
-                {
-                    "machine": point.cell.machine,
-                    "workload": point.cell.workload,
-                    "method": point.cell.method,
-                    "period": point.cell.period,
-                    "repeats": point.repeats,
-                    "errors": None if stats is None else list(stats.errors),
-                }
-                for point, stats in self.cells.items()
-            ],
+            "cells": cells,
         }
 
     @classmethod
@@ -111,6 +130,10 @@ class CampaignResult:
                     errors=tuple(float(e) for e in errors),
                 )
             )
+            if cell.get("fidelity") is not None:
+                result.fidelity[point] = FidelityStats.from_dict(
+                    cell["fidelity"]
+                )
         return result
 
     def save(self, path: str | Path) -> Path:
@@ -177,6 +200,8 @@ def result_from_journal(
     result = CampaignResult(spec=spec)
     for point in points:
         result.cells[point] = state.stats_for(point)
+        if spec.fidelity:
+            result.fidelity[point] = state.fidelity_for(point)
     return result
 
 
@@ -207,8 +232,10 @@ def run_campaign(
     result = CampaignResult(spec=spec)
 
     completed: dict[str, tuple[float, ...] | None] = {}
+    state = None
     if resume and journal_path.exists():
-        completed = resume_state(spec, journal_path).completed
+        state = resume_state(spec, journal_path)
+        completed = state.completed
 
     pending: list[SweepPoint] = []
     done = 0
@@ -220,6 +247,8 @@ def run_campaign(
                                    errors=completed[point.point_id])
             )
             result.cells[point] = stats
+            if spec.fidelity and state is not None:
+                result.fidelity[point] = state.fidelity_for(point)
             done += 1
             count("sweep.cells_resumed")
             if stats is None:
@@ -233,6 +262,7 @@ def run_campaign(
         with CampaignJournal(journal_path) as journal:
             journal.open(spec, resume=resume)
             fresh: dict[SweepPoint, AccuracyStats | None] = {}
+            fresh_fidelity: dict[SweepPoint, FidelityStats | None] = {}
 
             # One scheduler pass per distinct repeat count: the repeat axis
             # changes the ExperimentConfig, everything else rides in the
@@ -243,10 +273,11 @@ def run_campaign(
                     continue
                 by_cell = {p.cell: p for p in group}
 
-                def on_result(cell_spec, stats, _seconds, _done, _total,
+                def on_result(cell_spec, value, _seconds, _done, _total,
                               by_cell=by_cell):
                     point = by_cell[cell_spec]
-                    journal.record(point, stats)
+                    stats, fid = value if spec.fidelity else (value, None)
+                    journal.record(point, stats, fid)
                     count("sweep.cells_done")
                     if stats is None:
                         count("sweep.cells_skipped")
@@ -260,14 +291,26 @@ def run_campaign(
                     jobs=jobs,
                     cache=cache,
                     on_result=on_result,
+                    fidelity=spec.fidelity,
+                    fidelity_top_n=spec.fidelity_top_n,
                 )
                 for point in group:
-                    fresh[point] = evaluated[point.cell]
+                    value = evaluated[point.cell]
+                    if spec.fidelity:
+                        fresh[point], fresh_fidelity[point] = value
+                    else:
+                        fresh[point] = value
 
             for point in pending:
                 result.cells[point] = fresh[point]
+                if spec.fidelity:
+                    result.fidelity[point] = fresh_fidelity[point]
 
     # Re-key in expansion order so resumed and uninterrupted runs are
     # indistinguishable downstream (reports iterate this dict).
     result.cells = {point: result.cells[point] for point in points}
+    if spec.fidelity:
+        result.fidelity = {
+            point: result.fidelity.get(point) for point in points
+        }
     return result

@@ -18,6 +18,12 @@ machine) — blanks are journaled too, so resume never re-touches them.  A
 truncated trailing line (the crash case) is tolerated and dropped; a
 corrupt line anywhere else is an error, because silently skipping one
 would re-evaluate — and therefore re-journal — a cell out of order.
+
+Fidelity campaigns (``spec.fidelity``) add one additive key to each
+non-blank point line — ``"fidelity": {...}`` (the schema-versioned
+:meth:`~repro.fidelity.stats.FidelityStats.to_dict` document) — so resume
+replays fidelity without re-evaluating; journals of plain campaigns carry
+no trace of it.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from typing import IO
 
 from repro.errors import SweepError
 from repro.core.stats import AccuracyStats
+from repro.fidelity.stats import FidelityStats
 from repro.sweep.spec import CampaignSpec, SweepPoint
 
 #: Journal line format version.
@@ -45,6 +52,13 @@ class JournalState:
     points: int
     #: point_id -> per-seed errors (``None`` for blank cells).
     completed: dict[str, tuple[float, ...] | None]
+    #: point_id -> raw fidelity document (``None``/absent when the point
+    #: carried none — plain campaigns and blank cells).
+    fidelity: dict[str, dict | None] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.fidelity is None:
+            self.fidelity = {}
 
     def stats_for(self, point: SweepPoint) -> AccuracyStats | None:
         """Reconstruct one journaled point's stats (``None`` if blank)."""
@@ -52,6 +66,13 @@ class JournalState:
         if errors is None:
             return None
         return AccuracyStats(method=point.cell.method, errors=errors)
+
+    def fidelity_for(self, point: SweepPoint) -> FidelityStats | None:
+        """Reconstruct one journaled point's fidelity (``None`` if absent)."""
+        document = self.fidelity.get(point.point_id)
+        if document is None:
+            return None
+        return FidelityStats.from_dict(document)
 
 
 class CampaignJournal:
@@ -92,14 +113,26 @@ class CampaignJournal:
         with open(self.path, "r+b") as fh:
             fh.truncate(cut)
 
-    def record(self, point: SweepPoint, stats: AccuracyStats | None) -> None:
-        """Append one completed point, flushed to the OS immediately."""
-        self._write({
+    def record(
+        self,
+        point: SweepPoint,
+        stats: AccuracyStats | None,
+        fidelity: FidelityStats | None = None,
+    ) -> None:
+        """Append one completed point, flushed to the OS immediately.
+
+        ``fidelity`` adds its additive key only when present, so plain
+        campaigns' journal bytes stay exactly as before.
+        """
+        event: dict[str, object] = {
             "v": JOURNAL_VERSION,
             "type": "point",
             "id": point.point_id,
             "errors": None if stats is None else list(stats.errors),
-        })
+        }
+        if fidelity is not None:
+            event["fidelity"] = fidelity.to_dict()
+        self._write(event)
 
     def _write(self, event: dict[str, object]) -> None:
         if self._fh is None:
@@ -156,18 +189,23 @@ def load_journal(path: str | Path) -> JournalState:
         )
 
     completed: dict[str, tuple[float, ...] | None] = {}
+    fidelity: dict[str, dict | None] = {}
     for event in events[1:]:
         if event.get("type") != "point":
             raise SweepError(
                 f"unexpected journal event {event.get('type')!r} in {path}"
             )
         errors = event["errors"]
-        completed[str(event["id"])] = (
+        point_id = str(event["id"])
+        completed[point_id] = (
             None if errors is None else tuple(float(e) for e in errors)
         )
+        if event.get("fidelity") is not None:
+            fidelity[point_id] = event["fidelity"]
     return JournalState(
         name=str(header.get("name", "")),
         spec_digest=str(header.get("spec_digest", "")),
         points=int(header.get("points", 0)),
         completed=completed,
+        fidelity=fidelity,
     )

@@ -25,6 +25,7 @@ from pathlib import Path
 
 from repro.sweep.aggregate import (
     CurvePoint,
+    fidelity_summary,
     period_sensitivity,
     seed_convergence,
     summarize,
@@ -91,6 +92,29 @@ def render_markdown(result: CampaignResult) -> str:
             f"| {row.method} | {row.period:,} | {row.ci.mean:.4f} "
             f"| [{row.ci.lo:.4f}, {row.ci.hi:.4f}] | {row.cells} |"
         )
+    if result.has_fidelity:
+        lines += [
+            "",
+            "## Consumer fidelity — mean scores with 95% bootstrap CI "
+            f"(top-{spec.fidelity_top_n} blocks, "
+            f"pooled at {spec.max_repeats} seeds)",
+            "",
+            "| method | period | jaccard | rank | inline | layout "
+            "| converged | samples to converge |",
+            "|---|---|---|---|---|---|---|---|",
+        ]
+        for row in fidelity_summary(result):
+            samples = (
+                "—" if row.convergence is None
+                else f"{row.convergence.mean:.0f} "
+                     f"[{row.convergence.lo:.0f}, {row.convergence.hi:.0f}]"
+            )
+            lines.append(
+                f"| {row.method} | {row.period:,} "
+                f"| {row.jaccard.mean:.4f} | {row.rank.mean:.4f} "
+                f"| {row.inline.mean:.4f} | {row.layout.mean:.4f} "
+                f"| {row.converged}/{row.repeats} | {samples} |"
+            )
     lines += [
         "",
         "## Figure 1 — period sensitivity (err vs base period, per method)",
@@ -155,10 +179,35 @@ def seed_convergence_csv(result: CampaignResult) -> str:
     )
 
 
+def fidelity_csv(result: CampaignResult) -> str:
+    records: list[list[object]] = []
+    for r in fidelity_summary(result):
+        records.append([
+            r.method, r.period,
+            f"{r.jaccard.mean:.6f}", f"{r.jaccard.lo:.6f}",
+            f"{r.jaccard.hi:.6f}",
+            f"{r.rank.mean:.6f}", f"{r.inline.mean:.6f}",
+            f"{r.layout.mean:.6f}",
+            r.converged, r.repeats,
+            "" if r.convergence is None else f"{r.convergence.mean:.1f}",
+            r.cells,
+        ])
+    return _csv_text(
+        ["method", "period", "jaccard", "jaccard_ci_lo", "jaccard_ci_hi",
+         "rank", "inline", "layout", "converged", "repeats",
+         "mean_samples_to_converge", "cells"],
+        records,
+    )
+
+
 def write_reports(result: CampaignResult, out_dir: str | Path) -> list[Path]:
-    """Write report.md plus the three CSVs into ``out_dir``; returns paths."""
+    """Write report.md plus the CSVs into ``out_dir``; returns paths.
+
+    ``fidelity.csv`` appears only for fidelity-bearing campaigns, so the
+    artifact set (and every byte of it) of plain campaigns is unchanged.
+    """
     out_dir = Path(out_dir)
-    return [
+    paths = [
         _write_atomic(out_dir / "report.md", render_markdown(result)),
         _write_atomic(out_dir / "summary.csv", summary_csv(result)),
         _write_atomic(out_dir / "period_sensitivity.csv",
@@ -166,3 +215,8 @@ def write_reports(result: CampaignResult, out_dir: str | Path) -> list[Path]:
         _write_atomic(out_dir / "seed_convergence.csv",
                       seed_convergence_csv(result)),
     ]
+    if result.has_fidelity:
+        paths.append(
+            _write_atomic(out_dir / "fidelity.csv", fidelity_csv(result))
+        )
+    return paths

@@ -97,6 +97,12 @@ class CampaignSpec:
     #: Execution back-end for every cell (results are engine-independent;
     #: this only selects how fast they are computed).
     engine: str = DEFAULT_ENGINE
+    #: Score consumer-outcome fidelity (DESIGN.md §11) for every cell in
+    #: addition to accuracy.  Off by default; enabling it changes the
+    #: campaign digest (fidelity-bearing journals are a different campaign).
+    fidelity: bool = False
+    #: Hot-block set size for the fidelity ordering scores.
+    fidelity_top_n: int = 10
 
     def __post_init__(self) -> None:
         # Normalize lists to tuples so specs hash and compare by value.
@@ -142,6 +148,17 @@ class CampaignSpec:
             validate_engine(self.engine)
         except PMUConfigError as exc:
             raise SweepError(f"campaign {self.name!r}: {exc}") from None
+        if not isinstance(self.fidelity, bool):
+            raise SweepError(
+                f"campaign {self.name!r}: fidelity must be a boolean"
+            )
+        if (not isinstance(self.fidelity_top_n, int)
+                or isinstance(self.fidelity_top_n, bool)
+                or self.fidelity_top_n < 1):
+            raise SweepError(
+                f"campaign {self.name!r}: fidelity_top_n must be a "
+                f"positive integer"
+            )
 
     # -- expansion ---------------------------------------------------------
 
@@ -199,6 +216,12 @@ class CampaignSpec:
         # digest): existing campaign specs and journals keep their identity.
         if self.engine != DEFAULT_ENGINE:
             document["engine"] = self.engine
+        # Fidelity follows the same additive pattern: campaigns that never
+        # asked for it keep their documents and digests byte-identical.
+        if self.fidelity:
+            document["fidelity"] = True
+        if self.fidelity_top_n != 10:
+            document["fidelity_top_n"] = self.fidelity_top_n
         return document
 
     @classmethod
@@ -228,6 +251,8 @@ class CampaignSpec:
                 seed_base=int(document.get("seed_base", 100)),
                 scale=float(document.get("scale", 1.0)),
                 engine=str(document.get("engine", DEFAULT_ENGINE)),
+                fidelity=bool(document.get("fidelity", False)),
+                fidelity_top_n=int(document.get("fidelity_top_n", 10)),
             )
         except KeyError as exc:
             raise SweepError(f"campaign spec missing field {exc}") from None

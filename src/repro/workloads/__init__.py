@@ -11,14 +11,20 @@ from repro.workloads.base import Workload
 from repro.workloads.registry import (
     KERNEL_NAMES,
     APP_NAMES,
+    FAMILY_NAMES,
+    categories,
+    get,
     get_workload,
     list_workloads,
 )
 
 __all__ = [
     "Workload",
+    "categories",
+    "get",
     "get_workload",
     "list_workloads",
     "KERNEL_NAMES",
     "APP_NAMES",
+    "FAMILY_NAMES",
 ]

@@ -1,0 +1,23 @@
+"""Workload families beyond the paper's kernels and synthetic apps.
+
+Three scenario families the kernel/app generators cannot express:
+
+- :mod:`phased` — phase-changing programs whose hot set shifts mid-run,
+- :mod:`interleaved` — multi-threaded interleaved retirement streams,
+- :mod:`memaccess` — PEBS-style memory-access sampling attributing loads
+  to data structures.
+
+Each is a plain single-stream program over the standard builder ops, so
+both simulation engines execute them and every existing layer (CellSpec,
+artifact cache, ``--jobs``, campaigns, ``/v1/evaluate``) works unchanged.
+"""
+
+from repro.workloads.families.interleaved import build_interleaved
+from repro.workloads.families.memaccess import build_memaccess
+from repro.workloads.families.phased import build_phased
+
+__all__ = [
+    "build_interleaved",
+    "build_memaccess",
+    "build_phased",
+]

@@ -1,0 +1,126 @@
+"""Multi-threaded interleaved retirement stream.
+
+``NUM_THREADS`` logical threads share the retirement stream the way a
+per-core PMU sees an SMT or time-sliced workload: the scheduler loop
+round-robins a fixed quantum between thread bodies, so samples from
+different "threads" interleave at quantum granularity. Each thread has a
+distinct characteristic mix (ALU-heavy, FP-heavy, memory-heavy, branchy)
+and private accumulator/index registers, so attribution errors smear
+across thread bodies exactly when a method mis-places samples near the
+quantum switch points.
+
+The interleaving is encoded as plain single-stream control flow (an
+indirect call through the thread table every timeslice), so both engines
+execute it; the tight counted inner loops are new stress for the fast
+engine's lane vectorizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+#: Timeslices at scale 1.0 (about 2M retired instructions).
+BASE_SLICES = 35_000
+
+#: Logical threads (a power of two so the round-robin selector is an AND).
+NUM_THREADS = 4
+
+#: Inner iterations each thread runs per timeslice.
+QUANTUM = 6
+
+#: Size of the input-data segment (pre-generated "randomness").
+DATA_SIZE = 8192
+
+_R_N = 0        # timeslice counter
+_R_SLICE = 1    # timeslice index
+_R_SEL = 2      # thread selector
+_R_Q = 3        # quantum counter
+_R_VAL = 4      # loaded word
+_R_TEST = 5     # branch scratch
+_R_ONE = 6      # constant 1
+_R_MASK = 7     # NUM_THREADS - 1
+
+#: Per-thread private registers: accumulator and data index.
+_R_ACC = tuple(8 + t for t in range(NUM_THREADS))
+_R_PTR = tuple(8 + NUM_THREADS + t for t in range(NUM_THREADS))
+
+
+def _add_thread(b: ProgramBuilder, t: int) -> None:
+    """One thread body: a counted quantum loop of characteristic work."""
+    func = b.function(f"thread{t}")
+    func.block("body")
+    func.li(_R_Q, QUANTUM)
+
+    func.block("loop")
+    if t % NUM_THREADS == 0:
+        # Integer-crunching thread.
+        func.alu_burst(8)
+        func.addi(_R_ACC[t], _R_ACC[t], 1)
+    elif t % NUM_THREADS == 1:
+        # Floating-point thread.
+        func.fp_burst(4)
+        func.fmul()
+        func.addi(_R_ACC[t], _R_ACC[t], 1)
+    elif t % NUM_THREADS == 2:
+        # Memory-streaming thread: L1 hit then an LLC touch.
+        func.load(_R_VAL, _R_PTR[t])
+        func.loadl(_R_VAL, _R_VAL)
+        func.addi(_R_PTR[t], _R_PTR[t], 1)
+        func.add(_R_ACC[t], _R_ACC[t], _R_VAL)
+    else:
+        # Branchy thread: data-dependent skip.
+        func.load(_R_VAL, _R_PTR[t])
+        func.addi(_R_PTR[t], _R_PTR[t], 3)
+        func.and_(_R_TEST, _R_VAL, _R_ONE)
+        func.beqi(_R_TEST, 0, "skip")
+        func.block("taken")
+        func.fadd()
+        func.addi(_R_ACC[t], _R_ACC[t], 1)
+        func.block("skip")
+        func.addi(_R_ACC[t], _R_ACC[t], 1)
+
+    func.block("latch")
+    func.subi(_R_Q, _R_Q, 1)
+    func.bnei(_R_Q, 0, "loop")
+
+    func.block("fini")
+    func.ret()
+
+
+def build_interleaved(scale: float = 1.0, seed: int = 0) -> Program:
+    """Construct the workload with seeded thread input data."""
+    slices = max(1, int(BASE_SLICES * scale))
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 31, size=DATA_SIZE, dtype=np.int64)
+
+    b = ProgramBuilder("interleaved", data=data)
+    f = b.function("main")
+
+    f.block("entry")
+    f.li(_R_N, slices)
+    f.li(_R_SLICE, 0)
+    f.li(_R_ONE, 1)
+    f.li(_R_MASK, NUM_THREADS - 1)
+    for t in range(NUM_THREADS):
+        f.li(_R_PTR[t], t * (DATA_SIZE // NUM_THREADS))
+    # falls through into the scheduler loop.
+
+    f.block("head")
+    f.and_(_R_SEL, _R_SLICE, _R_MASK)
+    f.icall(_R_SEL, [f"thread{t}" for t in range(NUM_THREADS)])
+
+    f.block("latch")
+    f.addi(_R_SLICE, _R_SLICE, 1)
+    f.subi(_R_N, _R_N, 1)
+    f.bnei(_R_N, 0, "head")
+
+    f.block("exit")
+    f.halt()
+
+    for t in range(NUM_THREADS):
+        _add_thread(b, t)
+
+    return b.build()

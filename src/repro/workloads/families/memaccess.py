@@ -1,0 +1,125 @@
+"""PEBS-style memory-access sampling: attribute loads to data structures.
+
+Inspired by the PEBS-at-scale line of work (Nonell et al., PAPERS.md):
+precise memory events are sampled to answer *which data structure is
+hot*, not just which instruction. We model four data structures, each
+accessed exclusively through its own accessor function with a distinct
+memory level mix:
+
+- ``hot_buffer``  — sequential L1-resident streaming (cheap, frequent),
+- ``hashmap``     — random DRAM probes with a conditional second probe,
+- ``btree``       — short dependent LLC pointer chases,
+- ``applog``      — append-style stores.
+
+Because accessor functions partition the loads one-to-one with the data
+structures, function-level attribution of samples *is* data-structure
+attribution — ordering/decision fidelity on this workload measures how
+well a sampling method answers the PEBS question. Access frequency is
+skewed by a weighted dispatch table, and the accessed structure is
+chosen by loaded data, so skid-prone methods smear samples across
+structure boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+#: Access operations at scale 1.0 (about 2M retired instructions).
+BASE_OPS = 120_000
+
+#: Size of the input-data segment (the "heap" the structures live in).
+DATA_SIZE = 32768
+
+#: Weighted dispatch table: relative access frequency of each structure.
+DISPATCH_TABLE = (
+    "access_hot_buffer",
+    "access_hot_buffer",
+    "access_hot_buffer",
+    "access_hashmap",
+    "access_hashmap",
+    "access_btree",
+    "access_btree",
+    "access_applog",
+)
+
+_R_N = 0        # op counter
+_R_IDX = 1      # data index
+_R_VAL = 2      # loaded word
+_R_SEL = 3      # structure selector
+_R_PTR = 4      # pointer scratch
+_R_TEST = 5     # branch scratch
+_R_ACC = 6      # accumulator
+_R_ONE = 7      # constant 1
+
+
+def build_memaccess(scale: float = 1.0, seed: int = 0) -> Program:
+    """Construct the workload with a seeded heap image."""
+    ops = max(1, int(BASE_OPS * scale))
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 31, size=DATA_SIZE, dtype=np.int64)
+
+    b = ProgramBuilder("memaccess", data=data)
+    f = b.function("main")
+
+    f.block("entry")
+    f.li(_R_N, ops)
+    f.li(_R_IDX, 0)
+    f.li(_R_ONE, 1)
+    # falls through into the access loop.
+
+    f.block("head")
+    f.load(_R_VAL, _R_IDX)
+    f.shr(_R_SEL, _R_VAL, 2)
+    f.icall(_R_SEL, list(DISPATCH_TABLE))
+
+    f.block("latch")
+    f.addi(_R_IDX, _R_IDX, 1)
+    f.alu_burst(4)
+    f.subi(_R_N, _R_N, 1)
+    f.bnei(_R_N, 0, "head")
+
+    f.block("exit")
+    f.halt()
+
+    # hot_buffer: sequential L1 streaming — indexed read plus a dependent read.
+    buf = b.function("access_hot_buffer")
+    buf.block("body")
+    buf.load(_R_PTR, _R_IDX, 1)
+    buf.load(_R_VAL, _R_PTR)
+    buf.add(_R_ACC, _R_ACC, _R_VAL)
+    buf.ret()
+
+    # hashmap: random DRAM probe; odd slots take a second probe (collision).
+    hmap = b.function("access_hashmap")
+    hmap.block("body")
+    hmap.loadm(_R_PTR, _R_VAL)
+    hmap.and_(_R_TEST, _R_PTR, _R_ONE)
+    hmap.beqi(_R_TEST, 0, "done")
+    hmap.block("probe")
+    hmap.loadm(_R_VAL, _R_PTR, 7)
+    hmap.addi(_R_ACC, _R_ACC, 1)
+    hmap.block("done")
+    hmap.addi(_R_ACC, _R_ACC, 1)
+    hmap.ret()
+
+    # btree: three dependent LLC loads — a short pointer chase.
+    tree = b.function("access_btree")
+    tree.block("body")
+    tree.loadl(_R_PTR, _R_VAL)
+    tree.loadl(_R_PTR, _R_PTR)
+    tree.loadl(_R_PTR, _R_PTR, 3)
+    tree.add(_R_ACC, _R_ACC, _R_PTR)
+    tree.ret()
+
+    # applog: append-style store plus a little formatting work.
+    log = b.function("access_applog")
+    log.block("body")
+    log.store(_R_IDX, _R_VAL, 11)
+    log.fadd()
+    log.addi(_R_ACC, _R_ACC, 1)
+    log.ret()
+
+    return b.build()

@@ -1,0 +1,104 @@
+"""Phase-changing workload: the hot set shifts mid-run.
+
+The program executes ``NUM_PHASES`` sequential phases. Each phase loops
+over its own pair of helper functions, so the set of hot functions (and
+hot blocks) changes wholesale at each phase boundary. Profiles built from
+a prefix of the run see only the early phases — the scenario stresses
+whether a sampling method's hot-set ranking converges to the *whole-run*
+reference rather than to whichever phase dominated its samples.
+
+The per-helper work amounts are drawn from the seeded data rng, so
+different seeds produce differently skewed (but deterministic) phase
+profiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+#: Loop iterations per phase at scale 1.0 (about 2M retired instructions
+#: across all phases).
+BASE_ITERATIONS = 9_000
+
+#: Sequential phases, each with its own hot helper set.
+NUM_PHASES = 3
+
+#: Helper functions private to each phase.
+HELPERS_PER_PHASE = 2
+
+#: Size of the input-data segment (pre-generated "randomness").
+DATA_SIZE = 8192
+
+#: ALU work per helper is drawn uniformly from this half-open range.
+WORK_LO = 12
+WORK_HI = 44
+
+_R_N = 0        # per-phase iteration counter
+_R_IDX = 1      # data index
+_R_VAL = 2      # loaded random word
+_R_TEST = 3     # branch scratch
+_R_ACC = 4      # accumulator
+_R_ONE = 5      # constant 1
+
+
+def build_phased(scale: float = 1.0, seed: int = 0) -> Program:
+    """Construct the workload with seeded per-phase work skews."""
+    iterations = max(1, int(BASE_ITERATIONS * scale))
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 31, size=DATA_SIZE, dtype=np.int64)
+    work = rng.integers(WORK_LO, WORK_HI, size=(NUM_PHASES, HELPERS_PER_PHASE))
+
+    b = ProgramBuilder("phased", data=data)
+    f = b.function("main")
+
+    f.block("entry")
+    f.li(_R_IDX, 0)
+    f.li(_R_ONE, 1)
+    # falls through into phase 0.
+
+    for p in range(NUM_PHASES):
+        f.block(f"phase{p}_init")
+        f.li(_R_N, iterations)
+
+        f.block(f"phase{p}_head")
+        f.load(_R_VAL, _R_IDX)
+        f.call(f"phase{p}_step")
+
+        f.block(f"phase{p}_latch")
+        f.addi(_R_IDX, _R_IDX, 1)
+        f.subi(_R_N, _R_N, 1)
+        f.bnei(_R_N, 0, f"phase{p}_head")
+        # falls through into the next phase (or exit).
+
+    f.block("exit")
+    f.halt()
+
+    for p in range(NUM_PHASES):
+        step = b.function(f"phase{p}_step")
+        step.block("body")
+        step.and_(_R_TEST, _R_VAL, _R_ONE)
+        step.beqi(_R_TEST, 0, "even")
+        step.block("odd")
+        step.fadd()
+        step.addi(_R_ACC, _R_ACC, 1)
+        step.block("even")
+        for h in range(HELPERS_PER_PHASE):
+            step.call(f"p{p}h{h}")
+            step.block(f"after{h}")
+        step.ret()
+
+        for h in range(HELPERS_PER_PHASE):
+            helper = b.function(f"p{p}h{h}")
+            helper.block("body")
+            helper.alu_burst(int(work[p, h]))
+            if (p + h) % 2:
+                helper.fp_burst(3)
+            else:
+                helper.fadd()
+            helper.addi(_R_ACC, _R_ACC, p + h + 1)
+            helper.ret()
+
+    return b.build()

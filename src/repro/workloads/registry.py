@@ -6,6 +6,11 @@ from repro.errors import WorkloadError
 from repro.workloads.base import Workload
 from repro.workloads.apps.generator import build_app
 from repro.workloads.apps.profiles import APP_PROFILES
+from repro.workloads.families import (
+    build_interleaved,
+    build_memaccess,
+    build_phased,
+)
 from repro.workloads.kernels import (
     build_callchain,
     build_g4box,
@@ -63,10 +68,35 @@ def _app_workload(name: str) -> Workload:
 _APPS = tuple(_app_workload(name) for name in
               ("mcf", "povray", "omnetpp", "xalancbmk", "fullcms"))
 
-_REGISTRY: dict[str, Workload] = {w.name: w for w in _KERNELS + _APPS}
+_FAMILIES = (
+    Workload(
+        name="phased",
+        category="phase",
+        description="Three sequential phases, hot function set shifts mid-run",
+        builder=build_phased,
+        default_period=2000,
+    ),
+    Workload(
+        name="interleaved",
+        category="interleaved",
+        description="Four logical threads round-robined at quantum granularity",
+        builder=build_interleaved,
+        default_period=2000,
+    ),
+    Workload(
+        name="memaccess",
+        category="memory",
+        description="PEBS-style load sampling attributed to four data structures",
+        builder=build_memaccess,
+        default_period=1000,
+    ),
+)
+
+_REGISTRY: dict[str, Workload] = {w.name: w for w in _KERNELS + _APPS + _FAMILIES}
 
 KERNEL_NAMES: tuple[str, ...] = tuple(w.name for w in _KERNELS)
 APP_NAMES: tuple[str, ...] = tuple(w.name for w in _APPS)
+FAMILY_NAMES: tuple[str, ...] = tuple(w.name for w in _FAMILIES)
 
 
 def get_workload(name: str) -> Workload:
@@ -74,8 +104,18 @@ def get_workload(name: str) -> Workload:
     try:
         return _REGISTRY[name]
     except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
+        by_cat: dict[str, list[str]] = {}
+        for w in _REGISTRY.values():
+            by_cat.setdefault(w.category, []).append(w.name)
+        known = "; ".join(
+            f"{cat}: {', '.join(sorted(names))}"
+            for cat, names in sorted(by_cat.items())
+        )
         raise WorkloadError(f"unknown workload {name!r} (known: {known})") from None
+
+
+#: Canonical short alias — ``registry.get(name)``.
+get = get_workload
 
 
 def list_workloads(category: str | None = None) -> list[Workload]:
@@ -84,3 +124,11 @@ def list_workloads(category: str | None = None) -> list[Workload]:
     if category is not None:
         workloads = [w for w in workloads if w.category == category]
     return workloads
+
+
+def categories() -> list[str]:
+    """All registered categories, in registration order."""
+    seen: dict[str, None] = {}
+    for w in _REGISTRY.values():
+        seen.setdefault(w.category, None)
+    return list(seen)

@@ -190,3 +190,66 @@ def test_request_api_exported_from_top_level():
                  "EvaluationAborted"):
         assert name in repro.__all__
         assert hasattr(repro, name)
+
+
+# -- fidelity on the request API ---------------------------------------------
+
+
+def test_request_without_fidelity_keeps_old_wire_bytes():
+    """fidelity=False (the default) must leave requests, results, and their
+    JSON exactly as they were before the fidelity fields existed."""
+    request = api.EvaluateRequest(machine="ivybridge", workload="mcf",
+                                  method="classic", scale=0.01, repeats=1)
+    document = request.to_dict()
+    assert "fidelity" not in document
+    assert "fidelity_top_n" not in document
+
+    result = api.evaluate_request(request)
+    assert result.fidelity is None
+    assert "fidelity" not in result.to_dict()
+    assert "fidelity" not in result.to_json()
+
+
+def test_request_with_fidelity_round_trips():
+    request = api.EvaluateRequest(machine="westmere", workload="phased",
+                                  method="classic", scale=0.03, repeats=2,
+                                  fidelity=True, fidelity_top_n=5)
+    document = request.to_dict()
+    assert document["fidelity"] is True
+    assert document["fidelity_top_n"] == 5
+    assert api.EvaluateRequest.from_dict(document) == request
+
+    result = api.evaluate_request(request)
+    assert result.fidelity is not None
+    assert result.fidelity.top_n == 5
+    assert result.fidelity.repeats == 2
+    loaded = api.EvaluateResult.from_dict(result.to_dict())
+    assert loaded.fidelity == result.fidelity
+    assert loaded.to_json() == result.to_json()
+
+
+def test_fidelity_request_rejections():
+    from repro.errors import RequestError
+
+    good = {"machine": "ivybridge", "workload": "mcf", "method": "classic"}
+    for document in (
+        dict(good, fidelity="yes"),                   # not a bool
+        dict(good, fidelity_top_n=0),                 # not positive
+        dict(good, fidelity_top_n=True),              # bool is not an int
+    ):
+        with pytest.raises(RequestError):
+            api.EvaluateRequest.from_dict(document)
+
+
+def test_fidelity_blank_cell_stays_blank():
+    request = api.EvaluateRequest(machine="magnycours", workload="mcf",
+                                  method="lbr", scale=0.01, repeats=1,
+                                  fidelity=True)
+    result = api.evaluate_request(request)
+    assert result.blank and result.fidelity is None
+
+
+def test_run_fidelity_exported_from_top_level():
+    for name in ("FidelityStats", "run_fidelity"):
+        assert name in api.__all__
+        assert hasattr(api, name)

@@ -341,3 +341,84 @@ def test_trace_on_single_run_cell(tmp_path, capsys):
     counters = {e["name"]: e["value"] for e in events
                 if e["type"] == "counter"}
     assert counters.get("lbr.records", 0) > 0
+
+
+def test_workloads_lists_every_registered_workload(capsys):
+    from repro.workloads.registry import list_workloads
+
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    for workload in list_workloads():
+        assert workload.name in out
+        assert workload.category in out
+
+
+def test_workloads_category_filter_and_json(capsys):
+    assert main(["workloads", "--category", "phase", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert [r["name"] for r in rows] == ["phased"]
+    row = rows[0]
+    assert row["category"] == "phase"
+    assert row["default_period"] == 2000
+    assert row["description"]
+
+
+def test_fidelity_scores_multiple_methods(capsys):
+    code = main([
+        "fidelity", "--machine", "westmere", "--workload", "memaccess",
+        "--method", "classic,lbr", "--scale", "0.03", "--repeats", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    for method in ("classic", "lbr"):
+        assert method in out
+    for label in ("jaccard", "rank", "inline", "layout"):
+        assert label in out
+
+
+def test_fidelity_json_matches_api_bytes(capsys):
+    from repro import api
+
+    code = main([
+        "fidelity", "--machine", "westmere", "--workload", "phased",
+        "--method", "classic", "--scale", "0.03", "--repeats", "2", "--json",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    expected = api.evaluate_request(api.EvaluateRequest(
+        machine="westmere", workload="phased", method="classic",
+        scale=0.03, repeats=2, fidelity=True,
+    )).to_json()
+    assert out == expected
+
+
+def test_fidelity_all_blank_exits_2(capsys):
+    code = main([
+        "fidelity", "--machine", "magnycours", "--workload", "phased",
+        "--method", "lbr", "--scale", "0.03", "--repeats", "1",
+    ])
+    assert code == 2
+
+
+def test_sweep_status_reports_per_axis_progress(tmp_path, capsys):
+    spec, spec_path = _write_sweep_spec(tmp_path)
+    out_dir = tmp_path / "camp"
+    assert main(["sweep", "run", str(spec_path), "--out", str(out_dir),
+                 "-q"]) == 0
+    capsys.readouterr()
+
+    assert main(["sweep", "status", str(out_dir), "--json", "-q"]) == 0
+    status = json.loads(capsys.readouterr().out)
+    axes = status["axes"]
+    assert axes["workloads"]["latency_biased"] == {"done": 4, "total": 4}
+    # latency_biased is a kernel workload: category counts aggregate it.
+    category = next(iter(axes["categories"].values()))
+    assert category == {"done": 4, "total": 4}
+    assert set(axes["methods"]) == {"classic", "precise"}
+    assert set(axes["periods"]) == {"100", "200"}
+
+    assert main(["sweep", "status", str(out_dir), "-q"]) == 0
+    text = capsys.readouterr().out
+    for axis_name in ("workloads", "categories", "methods", "machines",
+                      "periods"):
+        assert axis_name in text

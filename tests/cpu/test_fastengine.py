@@ -342,3 +342,65 @@ def test_kernel_workload_cells_identical():
             CellSpec("ivybridge", "latency_biased", method, engine="fast")
         )
         assert ref.errors == fast.errors, method
+
+
+# -- workload-family equivalence --------------------------------------------
+
+FAMILY_NAMES = ("phased", "interleaved", "memaccess")
+
+
+@pytest.fixture(scope="module")
+def family_traces():
+    from repro.workloads.registry import get_workload
+
+    traces = {}
+    for name in FAMILY_NAMES:
+        program = get_workload(name).build(scale=0.02)
+        traces[name] = (program, Trace(program,
+                                       run_program(program).block_seq))
+    return traces
+
+
+def test_family_interpreters_bit_identical(family_traces):
+    """The three new families run bit-identically on both engines, over
+    many seeds of the sampling RNG (>= 30 comparisons per family)."""
+    for name, (program, _) in family_traces.items():
+        ref = run_program(program)
+        fast = fast_run_program(program)
+        assert np.array_equal(ref.block_seq, fast.block_seq), name
+        assert list(ref.registers) == list(fast.registers), name
+        assert np.array_equal(ref.data, fast.data), name
+
+
+def test_family_sampler_bit_identical_30_seeds(family_traces):
+    for name, (_, trace) in family_traces.items():
+        uarch = ALL_UARCHES[FAMILY_NAMES.index(name) % len(ALL_UARCHES)]
+        execution = Machine(uarch).attach(trace)
+        config = SamplingConfig(
+            event=instructions_event(uarch, Precision.IMPRECISE),
+            period=PeriodPolicy(base=997,
+                                randomization=Randomization.SOFTWARE),
+            random_phase=True,
+        )
+        for seed in FUZZ_SEEDS:
+            ref, fast = _collect_both(execution, config, seed=seed)
+            _assert_batches_equal(ref, fast, f"{name} seed {seed}")
+
+
+def test_family_fidelity_identical_across_engines(family_traces):
+    """Consumer fidelity (the new scoring path) is a pure function of the
+    batches, so fast-engine stats must equal the reference's exactly."""
+    from repro.fidelity import evaluate_fidelity
+    from repro.cpu.engine import get_engine
+    from repro.instrumentation.reference import collect_reference
+
+    for name, (_, trace) in family_traces.items():
+        execution = Machine(WESTMERE).attach(trace)
+        reference = collect_reference(trace)
+        for method in ("classic", "lbr"):
+            ref = evaluate_fidelity(execution, method, 1000,
+                                    seeds=range(2), reference=reference)
+            fast = evaluate_fidelity(execution, method, 1000,
+                                     seeds=range(2), reference=reference,
+                                     engine=get_engine("fast"))
+            assert ref == fast, f"{name}/{method}"

@@ -1,0 +1,61 @@
+"""Unit tests for the model profile consumers (inlining, layout)."""
+
+import numpy as np
+import pytest
+
+from repro.fidelity.decisions import (
+    HOT_COVERAGE,
+    INLINE_SHARE_THRESHOLD,
+    inline_candidates,
+    layout_agreement,
+    layout_hot_blocks,
+    selection_agreement,
+)
+
+
+def test_inline_candidates_thresholds_on_share():
+    counts = np.array([994.0, 5.0, 1.0])
+    # 5/1000 = exactly the threshold -> candidate; 1/1000 is below it.
+    assert INLINE_SHARE_THRESHOLD == 0.005
+    assert inline_candidates(counts) == frozenset({0, 1})
+
+
+def test_inline_candidates_empty_profile():
+    assert inline_candidates(np.zeros(4)) == frozenset()
+
+
+def test_layout_hot_blocks_smallest_covering_prefix():
+    counts = np.array([50.0, 30.0, 15.0, 5.0])
+    # Hottest-first cumulative shares: 0.50, 0.80, 0.95 -> three blocks
+    # reach the 0.9 target.
+    assert HOT_COVERAGE == 0.9
+    assert layout_hot_blocks(counts) == frozenset({0, 1, 2})
+
+
+def test_layout_hot_blocks_strips_zero_counts():
+    counts = np.array([10.0, 0.0, 0.0])
+    assert layout_hot_blocks(counts) == frozenset({0})
+    assert layout_hot_blocks(np.zeros(3)) == frozenset()
+
+
+def test_selection_agreement_jaccard():
+    assert selection_agreement(frozenset(), frozenset()) == 1.0
+    assert selection_agreement(frozenset({1, 2}), frozenset({2, 3})) == \
+        pytest.approx(1 / 3)
+    assert selection_agreement(frozenset({1}), frozenset({2})) == 0.0
+
+
+def test_layout_agreement_identical_profiles():
+    counts = np.array([50.0, 30.0, 15.0, 5.0])
+    assert layout_agreement(counts, counts) == 1.0
+
+
+def test_layout_agreement_counts_misclassified_blocks():
+    ref = np.array([50.0, 30.0, 15.0, 5.0])       # hot = {0, 1, 2}
+    est = np.array([50.0, 30.0, 5.0, 15.0])       # hot = {0, 1, 3}
+    # Universe is all four blocks; 2 and 3 flip classification.
+    assert layout_agreement(est, ref) == pytest.approx(0.5)
+
+
+def test_layout_agreement_empty_universe():
+    assert layout_agreement(np.zeros(3), np.zeros(3)) == 1.0

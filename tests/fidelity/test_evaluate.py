@@ -1,0 +1,111 @@
+"""End-to-end fidelity evaluation: scoring, convergence, caching, API."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationAborted
+from repro.cpu.machine import Machine
+from repro.cpu.uarch import get_uarch
+from repro.fidelity import (
+    FidelityStats,
+    convergence_ladder,
+    evaluate_fidelity,
+)
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def phased_execution():
+    program = get_workload("phased").build(scale=0.03)
+    return Machine(get_uarch("westmere")).execute(program)
+
+
+def test_convergence_ladder_shape():
+    assert convergence_ladder(0) == []
+    assert convergence_ladder(1) == [1]
+    assert convergence_ladder(10) == [1, 2, 4, 8, 10]
+    assert convergence_ladder(8) == [1, 2, 4, 8]
+
+
+def test_evaluate_fidelity_scores_every_class(phased_execution):
+    stats = evaluate_fidelity(phased_execution, "classic", 2000,
+                              seeds=range(3))
+    assert isinstance(stats, FidelityStats)
+    assert stats.repeats == 3
+    for field in ("jaccard", "rank", "inline", "layout"):
+        values = getattr(stats, field)
+        assert all(0.0 <= v <= 1.0 for v in values)
+    for c in stats.convergence:
+        assert c is None or c >= 1
+
+
+def test_evaluate_fidelity_deterministic(phased_execution):
+    a = evaluate_fidelity(phased_execution, "lbr", 2000, seeds=range(2))
+    b = evaluate_fidelity(phased_execution, "lbr", 2000, seeds=range(2))
+    assert a == b
+
+
+def test_reference_profile_scores_perfect(phased_execution):
+    """A dense sampling method should approach perfect fidelity; the
+    reference scored against itself must be exactly perfect."""
+    from repro.instrumentation.reference import collect_reference
+    from repro.fidelity.metrics import jaccard_at_n, weighted_rank_agreement
+    from repro.fidelity.decisions import layout_agreement
+
+    ref = collect_reference(phased_execution.trace)
+    counts = ref.block_instr_counts.astype(np.float64)
+    assert jaccard_at_n(counts, counts, 10) == 1.0
+    assert weighted_rank_agreement(counts, counts, 10) == 1.0
+    assert layout_agreement(counts, counts) == 1.0
+
+
+def test_abort_raises_between_repeats(phased_execution):
+    calls = {"n": 0}
+
+    def abort():
+        calls["n"] += 1
+        return calls["n"] > 1
+
+    with pytest.raises(EvaluationAborted, match="aborted"):
+        evaluate_fidelity(phased_execution, "classic", 2000,
+                          seeds=range(5), abort=abort)
+
+
+def test_harness_caches_fidelity(tmp_path):
+    from repro.core.cache import ArtifactCache
+    from repro.core.experiment import CellSpec, ExperimentConfig, Harness
+
+    config = ExperimentConfig(scale=0.03, repeats=2)
+    spec = CellSpec("westmere", "phased", "classic", 2000)
+    cache = ArtifactCache(tmp_path / "cache")
+
+    first = Harness(config, cache=cache)
+    a = first.evaluate_cell_fidelity(spec)
+    assert a is not None
+    # Same harness: in-process memo returns the identical object.
+    assert first.evaluate_cell_fidelity(spec) is a
+    # Fresh harness over the same persistent cache: equal stats, no rerun.
+    second = Harness(config, cache=cache)
+    assert second.evaluate_cell_fidelity(spec) == a
+
+
+def test_harness_blank_cell_yields_none():
+    from repro.core.experiment import CellSpec, ExperimentConfig, Harness
+
+    config = ExperimentConfig(scale=0.03, repeats=1)
+    # LBR is not available on magnycours: fidelity must blank like accuracy.
+    spec = CellSpec("magnycours", "phased", "lbr", 2000)
+    assert Harness(config).evaluate_cell_fidelity(spec) is None
+
+
+def test_run_fidelity_api(tmp_path):
+    from repro.api import run_fidelity
+    from repro.core.experiment import ExperimentConfig
+
+    stats = run_fidelity(
+        "westmere", "memaccess", "lbr", period=1000,
+        config=ExperimentConfig(scale=0.03, repeats=2),
+    )
+    assert isinstance(stats, FidelityStats)
+    assert stats.method == "lbr"
+    assert stats.repeats == 2

@@ -1,0 +1,84 @@
+"""Unit tests for FidelityStats: validation, wire round-trip, CIs."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.fidelity.stats import FIDELITY_SCHEMA_VERSION, FidelityStats
+
+
+def make_stats(**overrides):
+    fields = dict(
+        method="classic",
+        top_n=10,
+        jaccard=(0.8, 0.6, 0.7),
+        rank=(0.9, 0.85, 0.95),
+        inline=(1.0, 1.0, 0.5),
+        layout=(0.75, 0.8, 0.7),
+        convergence=(16, None, 64),
+    )
+    fields.update(overrides)
+    return FidelityStats(**fields)
+
+
+def test_means_and_convergence_summary():
+    stats = make_stats()
+    assert stats.repeats == 3
+    assert stats.mean_jaccard == pytest.approx(0.7)
+    assert stats.mean_rank == pytest.approx(0.9)
+    assert stats.converged_repeats == 2
+    assert stats.converged_samples() == (16, 64)
+
+
+def test_validation_rejects_bad_shapes_and_ranges():
+    with pytest.raises(AnalysisError, match="no fidelity samples"):
+        make_stats(jaccard=(), rank=(), inline=(), layout=(),
+                   convergence=())
+    with pytest.raises(AnalysisError, match="expected 3"):
+        make_stats(rank=(0.9,))
+    with pytest.raises(AnalysisError, match="out of"):
+        make_stats(layout=(1.5, 0.5, 0.5))
+    with pytest.raises(AnalysisError, match="top_n"):
+        make_stats(top_n=0)
+    with pytest.raises(AnalysisError, match="not positive"):
+        make_stats(convergence=(0, None, 4))
+
+
+def test_wire_round_trip():
+    stats = make_stats()
+    doc = stats.to_dict()
+    assert doc["schema_version"] == FIDELITY_SCHEMA_VERSION
+    assert doc["convergence"] == [16, None, 64]
+    assert FidelityStats.from_dict(doc) == stats
+
+
+def test_from_dict_rejects_version_and_missing_fields():
+    doc = make_stats().to_dict()
+    doc["schema_version"] = 99
+    with pytest.raises(AnalysisError, match="schema version"):
+        FidelityStats.from_dict(doc)
+    doc = make_stats().to_dict()
+    del doc["rank"]
+    with pytest.raises(AnalysisError, match="missing"):
+        FidelityStats.from_dict(doc)
+
+
+def test_score_ci_is_seeded_and_deterministic():
+    stats = make_stats()
+    a = stats.score_ci("jaccard")
+    b = stats.score_ci("jaccard")
+    assert (a.mean, a.lo, a.hi) == (b.mean, b.lo, b.hi)
+    assert a.lo <= a.mean <= a.hi
+    with pytest.raises(AnalysisError, match="unknown fidelity score"):
+        stats.score_ci("speed")
+
+
+def test_convergence_ci():
+    ci = make_stats().convergence_ci()
+    assert ci is not None and ci.samples == 2
+    never = make_stats(convergence=(None, None, None))
+    assert never.convergence_ci() is None
+
+
+def test_str_summary():
+    text = str(make_stats())
+    assert "jaccard@10" in text and "converged 2/3" in text

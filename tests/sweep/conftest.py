@@ -37,3 +37,26 @@ def tiny_result(tiny_spec, tmp_path_factory):
     """One completed tiny campaign (8 cells), run once per session."""
     journal = tmp_path_factory.mktemp("tiny-campaign") / "journal.jsonl"
     return run_campaign(tiny_spec, journal)
+
+
+def make_fidelity_spec(**overrides) -> CampaignSpec:
+    """A minimal fidelity campaign over one of the new workload families."""
+    fields = dict(
+        name="tiny-fidelity",
+        workloads=("phased",),
+        methods=("classic", "lbr"),
+        machines=("westmere",),
+        seed_counts=(2,),
+        scale=0.03,
+        fidelity=True,
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+@pytest.fixture(scope="session")
+def fidelity_campaign(tmp_path_factory):
+    """(spec, result, journal_path) of one completed fidelity campaign."""
+    spec = make_fidelity_spec()
+    journal = tmp_path_factory.mktemp("fid-campaign") / "journal.jsonl"
+    return spec, run_campaign(spec, journal), journal

@@ -27,7 +27,7 @@ from repro.sweep import (
     write_reports,
 )
 
-from tests.sweep.conftest import make_spec
+from tests.sweep.conftest import make_fidelity_spec, make_spec
 from tests.sweep.test_engine import truncate_journal
 
 REPORT_FILES = ("report.md", "summary.csv", "period_sensitivity.csv",
@@ -171,6 +171,34 @@ def test_distributed_resume_skips_journaled_cells(local_baseline, tmp_path):
     assert counters["sweep.cells_resumed"] == 3
     assert report.cells_dispatched == spec.num_points - 3
     assert resumed.to_document() == baseline.to_document()
+
+
+def test_distributed_fidelity_matches_local_byte_for_byte(tmp_path):
+    """Fidelity scores travel the wire and land byte-identical to a local
+    run — journal replay on resume included."""
+    spec = make_fidelity_spec()
+    local_dir = tmp_path / "local"
+    local = run_campaign(spec, local_dir / "journal.jsonl")
+    write_reports(local, local_dir)
+
+    fleet = FakeFleet(n=2)
+    journal = tmp_path / "dist" / "journal.jsonl"
+    result, _ = run_campaign_distributed(spec, journal, fleet.urls(),
+                                         http=fleet.http)
+    assert result.has_fidelity
+    assert result.to_document() == local.to_document()
+    write_reports(result, tmp_path / "dist")
+    for name in (*REPORT_FILES, "fidelity.csv"):
+        assert (tmp_path / "dist" / name).read_bytes() == \
+            (local_dir / name).read_bytes(), name
+
+    # Resume with a truncated journal: the replayed point keeps its
+    # fidelity without ever leaving the coordinator.
+    truncate_journal(journal, keep_points=1)
+    resumed, report = run_campaign_distributed(
+        spec, journal, fleet.urls(), resume=True, http=fleet.http)
+    assert report.cells_dispatched == spec.num_points - 1
+    assert resumed.to_document() == local.to_document()
 
 
 def test_existing_journal_without_resume_is_refused(tmp_path):

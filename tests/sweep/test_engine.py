@@ -164,6 +164,63 @@ def test_document_format_mismatch_raises(tiny_result, tmp_path):
         CampaignResult.from_document(document)
 
 
+def test_fidelity_campaign_resume_replays_without_reevaluation(
+        fidelity_campaign, tmp_path):
+    """Journal truncation + --resume replays FidelityStats from the journal
+    and regenerates byte-identical artifacts — the acceptance criterion."""
+    spec, baseline, _ = fidelity_campaign
+    baseline_dir = tmp_path / "baseline"
+    write_reports(baseline, baseline_dir)
+    baseline.save(baseline_dir / "campaign.json")
+
+    resumed_dir = tmp_path / "resumed"
+    journal = resumed_dir / "journal.jsonl"
+    run_campaign(spec, journal)
+    truncate_journal(journal, keep_points=1)
+
+    with collecting() as collector:
+        resumed = run_campaign(spec, journal, resume=True)
+    counters = collector.metrics.counters()
+    assert counters["sweep.cells_resumed"] == 1
+    # The resumed point's fidelity was replayed, not recomputed.
+    assert counters.get("harness.fidelity_evaluated", 0) == \
+        spec.num_points - 1
+
+    assert resumed.has_fidelity
+    assert resumed.to_document() == baseline.to_document()
+    write_reports(resumed, resumed_dir)
+    resumed.save(resumed_dir / "campaign.json")
+    for name in ("report.md", "summary.csv", "fidelity.csv",
+                 "campaign.json"):
+        assert (resumed_dir / name).read_bytes() == \
+            (baseline_dir / name).read_bytes(), name
+
+
+def test_fidelity_campaign_parallel_matches_serial(fidelity_campaign,
+                                                   tmp_path):
+    spec, serial, _ = fidelity_campaign
+    parallel = run_campaign(spec, tmp_path / "parallel.jsonl", jobs=2)
+    assert parallel.to_document() == serial.to_document()
+
+
+def test_fidelity_document_round_trips(fidelity_campaign, tmp_path):
+    _, result, journal = fidelity_campaign
+    path = result.save(tmp_path / "campaign.json")
+    loaded = CampaignResult.load(path)
+    assert loaded.has_fidelity
+    assert loaded.to_document() == result.to_document()
+    rebuilt = result_from_journal(result.spec, journal)
+    assert rebuilt.to_document() == result.to_document()
+
+
+def test_fidelity_flag_changes_spec_digest():
+    plain = make_spec()
+    assert make_spec(fidelity=True).digest() != plain.digest()
+    # ...but a default fidelity_top_n stays out of the document entirely.
+    assert "fidelity" not in plain.to_dict()
+    assert "fidelity_top_n" not in plain.to_dict()
+
+
 def test_run_campaign_dir_writes_every_artifact(tmp_path):
     spec = make_spec(periods=(500,), seed_counts=(1,))
     out = tmp_path / "camp"

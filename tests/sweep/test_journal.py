@@ -128,3 +128,39 @@ def test_record_on_closed_journal_raises(tmp_path):
     journal = CampaignJournal(tmp_path / "j.jsonl")
     with pytest.raises(SweepError, match="not open"):
         journal.record(spec.expand()[0], None)
+
+
+def test_fidelity_round_trips_through_journal(tmp_path):
+    from repro.fidelity.stats import FidelityStats
+    from tests.sweep.conftest import make_fidelity_spec
+
+    spec = make_fidelity_spec()
+    point = spec.expand()[0]
+    fid = FidelityStats(
+        method=point.cell.method, top_n=10,
+        jaccard=(0.8, 0.6), rank=(0.9, 0.95), inline=(1.0, 0.5),
+        layout=(0.7, 0.75), convergence=(16, None),
+    )
+    path = tmp_path / "j.jsonl"
+    with CampaignJournal(path) as journal:
+        journal.open(spec)
+        journal.record(
+            point, AccuracyStats(method=point.cell.method, errors=(0.1,)),
+            fid,
+        )
+    state = load_journal(path)
+    assert state.fidelity_for(point) == fid
+
+    event = json.loads(path.read_text().splitlines()[1])
+    assert event["fidelity"] == fid.to_dict()
+
+
+def test_plain_records_carry_no_fidelity_key(tmp_path):
+    spec = make_spec()
+    points = spec.expand()
+    path = write_journal(tmp_path / "j.jsonl", spec, points[:2])
+    for line in path.read_text().splitlines():
+        assert "fidelity" not in line
+    state = load_journal(path)
+    assert state.fidelity == {}
+    assert state.fidelity_for(points[0]) is None

@@ -3,8 +3,14 @@
 import csv
 import io
 
-from repro.sweep import render_markdown, summarize, write_reports
+from repro.sweep import (
+    fidelity_summary,
+    render_markdown,
+    summarize,
+    write_reports,
+)
 from repro.sweep.report import (
+    fidelity_csv,
     period_sensitivity_csv,
     seed_convergence_csv,
     summary_csv,
@@ -63,3 +69,47 @@ def test_write_reports_creates_all_files(tiny_result, tmp_path):
     ]
     for path in paths:
         assert path.read_text().strip()
+
+
+def test_plain_campaign_report_has_no_fidelity_trace(tiny_result):
+    """Plain campaigns' report bytes must stay exactly as before the
+    fidelity subsystem existed."""
+    assert not tiny_result.has_fidelity
+    assert "fidelity" not in render_markdown(tiny_result).lower()
+
+
+def test_fidelity_report_section_and_csv(fidelity_campaign, tmp_path):
+    spec, result, _ = fidelity_campaign
+    assert result.has_fidelity
+
+    text = render_markdown(result)
+    assert "## Consumer fidelity" in text
+    assert f"top-{spec.fidelity_top_n} blocks" in text
+    for method in spec.methods:
+        assert f"| {method} |" in text
+
+    paths = write_reports(result, tmp_path)
+    assert [p.name for p in paths][-1] == "fidelity.csv"
+    rows = list(csv.DictReader(io.StringIO(fidelity_csv(result))))
+    assert {r["method"] for r in rows} == set(spec.methods)
+    for row in rows:
+        for field in ("jaccard", "rank", "inline", "layout"):
+            assert 0.0 <= float(row[field]) <= 1.0
+        assert float(row["jaccard_ci_lo"]) <= float(row["jaccard"]) \
+            <= float(row["jaccard_ci_hi"])
+        assert int(row["converged"]) <= int(row["repeats"])
+
+
+def test_fidelity_report_is_deterministic(fidelity_campaign):
+    _, result, _ = fidelity_campaign
+    assert render_markdown(result) == render_markdown(result)
+    assert fidelity_csv(result) == fidelity_csv(result)
+
+
+def test_fidelity_summary_pools_per_seed_scores(fidelity_campaign):
+    spec, result, _ = fidelity_campaign
+    rows = fidelity_summary(result)
+    assert [r.method for r in rows] == list(spec.methods)
+    for row in rows:
+        assert row.jaccard.samples == spec.max_repeats * row.cells
+        assert row.jaccard.lo <= row.jaccard.mean <= row.jaccard.hi

@@ -1,0 +1,112 @@
+"""Unit tests for the phased / interleaved / memaccess workload families."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.cpu.interpreter import run_program
+from repro.cpu.trace import Trace
+from repro.workloads.families import (
+    build_interleaved,
+    build_memaccess,
+    build_phased,
+)
+from repro.workloads.registry import (
+    FAMILY_NAMES,
+    categories,
+    get,
+    get_workload,
+    list_workloads,
+)
+
+WORKLOAD_NAMES = tuple(w.name for w in list_workloads())
+
+BUILDERS = {
+    "phased": build_phased,
+    "interleaved": build_interleaved,
+    "memaccess": build_memaccess,
+}
+
+
+@pytest.mark.parametrize("name,builder", sorted(BUILDERS.items()))
+def test_builds_run_and_terminate(name, builder):
+    program = builder(scale=0.02, seed=1)
+    assert program.name == name
+    result = run_program(program)
+    assert result.blocks_executed > 100
+
+
+@pytest.mark.parametrize("name,builder", sorted(BUILDERS.items()))
+def test_deterministic_in_seed(name, builder):
+    a = builder(scale=0.02, seed=7)
+    b = builder(scale=0.02, seed=7)
+    assert np.array_equal(
+        run_program(a).block_seq, run_program(b).block_seq
+    ), name
+
+
+def test_memaccess_varies_with_seed():
+    a = build_memaccess(scale=0.02, seed=1)
+    b = build_memaccess(scale=0.02, seed=2)
+    assert not np.array_equal(a.data, b.data)
+
+
+def test_scale_controls_length():
+    small = Trace(build_phased(scale=0.02),
+                  run_program(build_phased(scale=0.02)).block_seq)
+    large = Trace(build_phased(scale=0.08),
+                  run_program(build_phased(scale=0.08)).block_seq)
+    assert large.num_instructions > 2 * small.num_instructions
+
+
+def test_phased_program_has_distinct_phases():
+    """Each phase's helpers execute; phases are visited in order."""
+    program = build_phased(scale=0.02)
+    names = {f.name for f in program.functions}
+    for p in range(3):
+        assert f"phase{p}_step" in names
+    trace = run_program(program)
+    assert trace.blocks_executed > 0
+
+
+def test_interleaved_runs_every_thread_body():
+    program = build_interleaved(scale=0.02)
+    names = {f.name for f in program.functions}
+    assert {"thread0", "thread1", "thread2", "thread3"} <= names
+
+
+def test_memaccess_dispatches_all_accessors():
+    program = build_memaccess(scale=0.02)
+    names = {f.name for f in program.functions}
+    assert {"access_hot_buffer", "access_hashmap", "access_btree",
+            "access_applog"} <= names
+
+
+def test_registry_integration():
+    assert set(FAMILY_NAMES) == {"phased", "interleaved", "memaccess"}
+    assert set(FAMILY_NAMES) <= set(WORKLOAD_NAMES)
+    phased = get_workload("phased")
+    assert phased.category == "phase"
+    assert get_workload("interleaved").category == "interleaved"
+    assert get_workload("memaccess").category == "memory"
+    assert get_workload("memaccess").default_period == 1000
+    # ``get`` is the documented alias.
+    assert get("phased") is phased
+    program = phased.build(scale=0.01)
+    assert program.name == "phased"
+
+
+def test_categories_cover_families():
+    cats = categories()
+    assert "phase" in cats and "interleaved" in cats and "memory" in cats
+
+
+def test_unknown_workload_error_lists_names_by_category():
+    with pytest.raises(WorkloadError) as excinfo:
+        get_workload("quicksort")
+    message = str(excinfo.value)
+    assert "unknown workload 'quicksort'" in message
+    # The error enumerates every known name, grouped by category.
+    for name in WORKLOAD_NAMES:
+        assert name in message
+    assert "phase:" in message and "memory:" in message
