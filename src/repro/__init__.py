@@ -85,6 +85,9 @@ from repro.workloads import Workload, get_workload, list_workloads
 from repro import api
 from repro.api import (
     API_SCHEMA_VERSION,
+    CACHE_STATS_SCHEMA_VERSION,
+    CacheConfig,
+    CacheTier,
     CampaignResult,
     CampaignSpec,
     EvaluateRequest,
@@ -92,6 +95,7 @@ from repro.api import (
     FleetConfig,
     FleetReport,
     RemoteCache,
+    TierStats,
     evaluate_cell,
     evaluate_request,
     load_campaign,
@@ -167,7 +171,11 @@ __all__ = [
     # stable facade (repro.api)
     "api",
     "API_SCHEMA_VERSION",
+    "CACHE_STATS_SCHEMA_VERSION",
     "ArtifactCache",
+    "CacheConfig",
+    "CacheTier",
+    "TierStats",
     "CellSpec",
     "EvaluateRequest",
     "EvaluateResult",

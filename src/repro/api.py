@@ -20,10 +20,21 @@ of reaching into ``repro.core.*`` internals:
 
 Everything accepts plain values: ``config`` is an
 :class:`~repro.core.experiment.ExperimentConfig` (or ``None`` for the
-paper's defaults), ``cache`` is ``True``/``False``, a directory path, or an
+paper's defaults), ``cache`` is ``True``/``False``, a directory path, a
+:class:`CacheConfig` (budgets, hot tier, remote — DESIGN.md §12), or an
 :class:`~repro.core.cache.ArtifactCache`, and ``jobs`` is a worker-process
 count (1 = serial).  Parallel and serial builds of the same config are
-bit-identical.
+bit-identical, and so are builds under any cache budget — eviction is
+invisible to results.
+
+``cache=CacheConfig(...)`` is the one structured way to shape caching
+(replacing the ad-hoc spread of ``cache=``/``cache_dir=`` spellings,
+which remain accepted as deprecated aliases for one release):
+
+    table = api.run_table1(
+        jobs=4,
+        cache=api.CacheConfig(max_bytes=256 * 1024 * 1024, hot_entries=64),
+    )
 """
 
 from __future__ import annotations
@@ -38,7 +49,16 @@ from typing import Callable
 from repro.errors import PMUConfigError, RequestError, WorkloadError
 from repro.cpu.engine import DEFAULT_ENGINE, ENGINE_NAMES, validate_engine
 from repro.cpu.uarch import get_uarch
-from repro.core.cache import ArtifactCache, RemoteCache, resolve_cache
+from repro.core.cache import (
+    CACHE_STATS_SCHEMA_VERSION,
+    ArtifactCache,
+    CacheConfig,
+    CacheStats,
+    CacheTier,
+    RemoteCache,
+    TierStats,
+    resolve_cache,
+)
 from repro.core.experiment import CellSpec, ExperimentConfig, Harness
 from repro.core.methods import get_method
 from repro.core.stats import AccuracyStats
@@ -62,9 +82,13 @@ from repro.workloads.registry import APP_NAMES, KERNEL_NAMES, get_workload
 
 __all__ = [
     "API_SCHEMA_VERSION",
+    "CACHE_STATS_SCHEMA_VERSION",
     "DEFAULT_ENGINE",
     "ENGINE_NAMES",
     "ArtifactCache",
+    "CacheConfig",
+    "CacheStats",
+    "CacheTier",
     "CampaignResult",
     "CampaignSpec",
     "CellSpec",
@@ -77,6 +101,7 @@ __all__ = [
     "Harness",
     "RemoteCache",
     "TableResult",
+    "TierStats",
     "compare_bench",
     "evaluate_cell",
     "evaluate_request",
@@ -104,7 +129,7 @@ TABLE_DOCUMENT_VERSION = 1
 #: being silently misread.
 API_SCHEMA_VERSION = 1
 
-CacheArg = "ArtifactCache | str | Path | bool | None"
+CacheArg = "ArtifactCache | CacheConfig | str | Path | bool | None"
 
 
 def _harness(config: ExperimentConfig | None, cache) -> Harness:

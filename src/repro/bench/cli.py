@@ -46,6 +46,8 @@ def cmd_bench_run(args: argparse.Namespace, out: Emitter) -> int:
         min_elapsed_s=(DEFAULT_MIN_ELAPSED_S if args.min_elapsed is None
                        else args.min_elapsed),
         cache_dir=args.cache_dir,
+        cache_max_bytes=getattr(args, "cache_max_bytes", None),
+        cache_hot_entries=getattr(args, "cache_hot_entries", 0) or 0,
         area=args.area,
         engine=args.engine,
     )
@@ -117,8 +119,13 @@ def cmd_hammer(args: argparse.Namespace, out: Emitter) -> int:
     return 0 if result.ok else 1
 
 
-def register_parsers(sub, add_obs_args) -> None:
-    """Attach ``bench`` and ``hammer`` to the main parser's subparsers."""
+def register_parsers(sub, add_obs_args, add_cache_budget_args=None) -> None:
+    """Attach ``bench`` and ``hammer`` to the main parser's subparsers.
+
+    ``add_cache_budget_args`` is the core CLI's shared
+    ``--cache-max-bytes``/``--cache-hot-entries`` helper, so the bench
+    warm phase can measure the pipeline *under a cache budget*.
+    """
     pb = sub.add_parser(
         "bench",
         help="measure and gate the pipeline's own performance (repro.bench)",
@@ -165,6 +172,8 @@ def register_parsers(sub, add_obs_args) -> None:
     pbr.add_argument("--cache-dir", metavar="DIR", default=None,
                      help="warm-phase artifact cache location (default: a "
                           "fresh temp directory)")
+    if add_cache_budget_args is not None:
+        add_cache_budget_args(pbr)
     pbr.add_argument("--area", default=None,
                      help="result area override (default: the suite name)")
     pbr.add_argument("--out", metavar="DIR", default=None,

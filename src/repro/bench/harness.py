@@ -59,7 +59,7 @@ from repro.bench.guards import (
     check_nonzero_work,
 )
 from repro.bench.result import BenchResult, GuardCheck, Metric
-from repro.core.cache import ArtifactCache
+from repro.core.cache import CacheConfig
 from repro.core.experiment import Harness
 from repro.core.methods import method_available
 from repro.cpu.engine import DEFAULT_ENGINE, validate_engine
@@ -182,6 +182,8 @@ def run_bench(
     warmup: int = 1,
     min_elapsed_s: float = DEFAULT_MIN_ELAPSED_S,
     cache_dir: str | Path | None = None,
+    cache_max_bytes: int | None = None,
+    cache_hot_entries: int = 0,
     area: str | None = None,
     engine: str = DEFAULT_ENGINE,
 ) -> BenchResult:
@@ -190,7 +192,9 @@ def run_bench(
     ``suite`` is ``table1`` (kernel cells), ``table2`` (application
     cells), or ``sweep`` (a small campaign through
     :func:`repro.api.run_campaign`).  ``cache_dir`` hosts the warm phase's
-    artifact cache (a temp directory when ``None``); ``area`` overrides
+    artifact cache (a temp directory when ``None``); ``cache_max_bytes``
+    and ``cache_hot_entries`` shape that cache's tiers (DESIGN.md §12), so
+    the warm phase can be measured *under a budget*; ``area`` overrides
     the result's area (defaults to the suite name, suffixed ``_<engine>``
     for non-default engines so baselines never cross-compare).  ``engine``
     selects the execution back-end for every cell.
@@ -219,7 +223,8 @@ def run_bench(
         suite, machine=machine, workloads=workloads, methods=methods,
         scale=scale, repeats=repeats, seed_base=seed_base,
         iterations=iterations, warmup=warmup, min_elapsed_s=min_elapsed_s,
-        cache_dir=cache_dir, area=area, engine=engine,
+        cache_dir=cache_dir, cache_max_bytes=cache_max_bytes,
+        cache_hot_entries=cache_hot_entries, area=area, engine=engine,
     )
 
 
@@ -239,6 +244,8 @@ def _run_cell_bench(
     warmup: int,
     min_elapsed_s: float,
     cache_dir: str | Path | None,
+    cache_max_bytes: int | None,
+    cache_hot_entries: int,
     area: str,
     engine: str,
 ) -> BenchResult:
@@ -268,8 +275,11 @@ def _run_cell_bench(
         # to size the work (trace instruction counts) without touching the
         # timed phases.
         instructions_per_pass = 0
+        cache_config = CacheConfig(root=str(cache_dir),
+                                   max_bytes=cache_max_bytes,
+                                   hot_entries=cache_hot_entries)
         warm_harness = Harness(requests[0].config(),
-                               cache=ArtifactCache(cache_dir))
+                               cache=cache_config.build())
         for i in range(max(warmup, 1)):
             _evaluate_all(requests, warm_harness)
             _log.debug("bench warmup pass %d/%d done", i + 1, max(warmup, 1))
@@ -306,7 +316,7 @@ def _run_cell_bench(
         warm_runs = []
         for i in range(iterations):
             warm_runs.append(
-                one_iteration(lambda: ArtifactCache(cache_dir))
+                one_iteration(cache_config.build)
             )
             _log.debug("bench warm pass %d/%d: %.3fs (%d rounds)",
                        i + 1, iterations, warm_runs[-1][0], warm_runs[-1][1])

@@ -44,7 +44,7 @@ from repro.obs import (
     write_manifest,
 )
 from repro.obs.log import Emitter
-from repro.core.cache import ArtifactCache
+from repro.core.cache import ArtifactCache, CacheConfig
 from repro.core.compare import evaluate_all_claims
 from repro.core.experiment import ExperimentConfig, Harness
 from repro.core.methods import METHODS
@@ -98,6 +98,41 @@ def _add_harness_args(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", metavar="DIR", default=None,
         help="artifact cache location (implies --cache)",
     )
+    _add_cache_budget_args(parser)
+
+
+def _parse_size(text: str) -> int:
+    """Parse a byte size: a plain integer or with a k/m/g suffix."""
+    units = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+    raw = text.strip().lower().removesuffix("b")
+    factor = 1
+    if raw and raw[-1] in units:
+        factor = units[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(raw) * factor
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r} (want e.g. 4096, 64k, 16m, 1g)"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"size must be positive: {text!r}")
+    return value
+
+
+def _add_cache_budget_args(parser: argparse.ArgumentParser) -> None:
+    """The cache budget knobs shared by run/table/sweep/serve/bench."""
+    parser.add_argument(
+        "--cache-max-bytes", metavar="SIZE", type=_parse_size, default=None,
+        help="bound the disk cache to SIZE bytes (accepts k/m/g suffixes); "
+             "least-recently-used entries are evicted, which never changes "
+             "results (implies --cache)",
+    )
+    parser.add_argument(
+        "--cache-hot-entries", metavar="N", type=int, default=0,
+        help="keep the N hottest entries decoded in memory, shared across "
+             "threads (default 0 = no hot tier; implies --cache)",
+    )
 
 
 def _add_engine_arg(
@@ -118,17 +153,32 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _resolve_cache(args: argparse.Namespace) -> ArtifactCache | None:
-    remote = getattr(args, "remote_cache", None)
-    if remote:
-        from repro.core.cache import RemoteCache
+def _cache_config(args: argparse.Namespace) -> "CacheConfig | None":
+    """The :class:`CacheConfig` described by a parsed namespace.
 
-        return RemoteCache(getattr(args, "cache_dir", None), remote=remote)
-    if getattr(args, "cache_dir", None):
-        return ArtifactCache(args.cache_dir)
-    if getattr(args, "cache", False):
-        return ArtifactCache()
-    return None
+    Any cache-shaping flag (``--cache-dir``, ``--remote-cache``,
+    ``--cache-max-bytes``, ``--cache-hot-entries``) implies ``--cache``;
+    ``None`` means caching stays off.
+    """
+    root = getattr(args, "cache_dir", None)
+    remote = getattr(args, "remote_cache", None)
+    max_bytes = getattr(args, "cache_max_bytes", None)
+    hot_entries = getattr(args, "cache_hot_entries", 0) or 0
+    enabled = (getattr(args, "cache", False) or bool(root) or bool(remote)
+               or max_bytes is not None or hot_entries > 0)
+    if not enabled:
+        return None
+    return CacheConfig(
+        root=str(root) if root else None,
+        max_bytes=max_bytes,
+        hot_entries=hot_entries,
+        remote=remote or None,
+    )
+
+
+def _resolve_cache(args: argparse.Namespace) -> ArtifactCache | None:
+    config = _cache_config(args)
+    return None if config is None else config.build()
 
 
 def _make_harness(args: argparse.Namespace) -> Harness:
@@ -199,13 +249,25 @@ def _cmd_table2(args: argparse.Namespace, out: Emitter) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace, out: Emitter) -> int:
-    cache = ArtifactCache(args.cache_dir)
+    max_bytes = getattr(args, "max_bytes", None)
+    cache = ArtifactCache(args.cache_dir,
+                          config=CacheConfig(max_bytes=max_bytes))
     if args.action == "stats":
         stats = cache.stats()
         if args.json:
             out.result(json.dumps(stats.to_dict(), indent=2))
         else:
             out.result(stats.render())
+        return 0
+    if args.action == "trim":
+        if max_bytes is None:
+            out.error("cache trim needs --max-bytes")
+            return 2
+        evicted = cache.enforce_budget()
+        remaining = cache.stats()
+        out.result(f"evicted {evicted} entries from {cache.root} "
+                   f"({remaining.entries} entries, "
+                   f"{remaining.total_bytes:,} bytes remain)")
         return 0
     removed = cache.clear()
     out.result(f"removed {removed} cache entries from {cache.root}")
@@ -519,9 +581,11 @@ def _config_summary(args: argparse.Namespace) -> dict[str, object]:
     summary: dict[str, object] = {"command": args.command}
     for knob in ("scale", "repeats", "seed", "machine", "workload", "method",
                  "period", "engine", "function", "no_lbr", "jobs",
-                 "cache_dir", "remote_cache", "spec", "out", "resume",
-                 "workers"):
+                 "cache_dir", "remote_cache", "cache_max_bytes",
+                 "cache_hot_entries", "spec", "out", "resume", "workers"):
         value = getattr(args, knob, None)
+        if knob == "cache_hot_entries" and not value:
+            continue  # default 0 = no hot tier; keep manifests unchanged
         if value is not None:
             summary[knob] = value
     if hasattr(args, "seed") and hasattr(args, "repeats"):
@@ -572,11 +636,16 @@ def main(argv: list[str] | None = None) -> int:
     _add_obs_args(p2)
     p2.set_defaults(func=_cmd_table2)
 
-    pk = sub.add_parser("cache", help="inspect or clear the artifact cache")
-    pk.add_argument("action", choices=("stats", "clear"))
+    pk = sub.add_parser("cache",
+                        help="inspect, trim, or clear the artifact cache")
+    pk.add_argument("action", choices=("stats", "trim", "clear"))
     pk.add_argument("--cache-dir", metavar="DIR", default=None,
                     help="cache location (default ~/.cache/repro or "
                          "$REPRO_CACHE_DIR)")
+    pk.add_argument("--max-bytes", metavar="SIZE", type=_parse_size,
+                    default=None,
+                    help="byte budget for 'trim': evict least-recently-"
+                         "used entries until the store fits")
     pk.add_argument("--json", action="store_true",
                     help="emit stats as JSON (for scripts and sweep status)")
     _add_obs_args(pk)
@@ -614,6 +683,7 @@ def main(argv: list[str] | None = None) -> int:
         help="federate the local cache with a serve daemon's "
              "/v1/cache routes (read-through, write-through)",
     )
+    _add_cache_budget_args(pswr)
     pswr.add_argument(
         "--workers", metavar="URL[,URL...]", action="append", default=None,
         help="dispatch cells to this fleet of repro-pmu serve daemons "
@@ -737,6 +807,7 @@ def main(argv: list[str] | None = None) -> int:
         help="federate this daemon's cache with another daemon's "
              "/v1/cache routes (read-through, write-through)",
     )
+    _add_cache_budget_args(psv)
     _add_obs_args(psv)
     psv.set_defaults(func=_cmd_serve)
 
@@ -763,7 +834,7 @@ def main(argv: list[str] | None = None) -> int:
     # registration is cheap, the heavy imports stay inside the commands.
     from repro.bench.cli import register_parsers as _register_bench
 
-    _register_bench(sub, _add_obs_args)
+    _register_bench(sub, _add_obs_args, _add_cache_budget_args)
 
     args = parser.parse_args(argv)
     logger = setup_cli_logging(verbose=args.verbose, quiet=args.quiet)

@@ -12,8 +12,9 @@ counts, and per-cell stats persist across processes and runs.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, replace
-from typing import Callable
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -169,6 +170,27 @@ class Harness:
 
     # -- artifacts ---------------------------------------------------------
 
+    @contextlib.contextmanager
+    def pinned_workload(self, workload_name: str) -> Iterator[None]:
+        """Pin one workload's trace and reference entries in the cache.
+
+        Under a budgeted cache (DESIGN.md §12), LRU eviction must never
+        pull a trace out from under a cell that is mid-evaluation — an
+        evicted entry is only *correctness*-invisible, and thrashing the
+        entry a cell is actively re-reading would be pathological.  The
+        harness pins around each cell, and the parallel scheduler pins
+        around each workload group's whole dispatch.  Without a
+        persistent cache this is a no-op.
+        """
+        if self.cache is None:
+            yield
+            return
+        with self.cache.pinned(
+            ("trace", self._trace_digest(workload_name)),
+            ("reference", self._reference_digest(workload_name)),
+        ):
+            yield
+
     def trace(
         self, workload_name: str, engine: str = DEFAULT_ENGINE
     ) -> Trace:
@@ -285,9 +307,10 @@ class Harness:
             if stats is not None:
                 self._cells[spec] = stats
                 return stats
-        with span("cell", machine=spec.machine, workload=spec.workload,
-                  method=spec.method, period=spec.period,
-                  engine=spec.engine):
+        with self.pinned_workload(spec.workload), \
+                span("cell", machine=spec.machine, workload=spec.workload,
+                     method=spec.method, period=spec.period,
+                     engine=spec.engine):
             stats = evaluate_method(
                 self.execution(spec.machine, spec.workload,
                                engine=spec.engine),
@@ -333,9 +356,10 @@ class Harness:
             if stats is not None:
                 self._fidelity[key] = stats
                 return stats
-        with span("fidelity_cell", machine=spec.machine,
-                  workload=spec.workload, method=spec.method,
-                  period=spec.period, engine=spec.engine):
+        with self.pinned_workload(spec.workload), \
+                span("fidelity_cell", machine=spec.machine,
+                     workload=spec.workload, method=spec.method,
+                     period=spec.period, engine=spec.engine):
             stats = evaluate_fidelity(
                 self.execution(spec.machine, spec.workload,
                                engine=spec.engine),

@@ -24,6 +24,7 @@ preserving the no-op fast path.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Iterable, Sequence
@@ -31,7 +32,7 @@ from typing import Callable, Iterable, Sequence
 from repro.errors import EvaluationAborted
 from repro.cpu.engine import DEFAULT_ENGINE
 from repro.obs import Collector, count, enabled, get_collector, install, span
-from repro.core.cache import ArtifactCache
+from repro.core.cache import ArtifactCache, CacheConfig, resolve_cache
 from repro.core.experiment import CellSpec, ExperimentConfig, Harness
 from repro.core.stats import AccuracyStats
 
@@ -79,7 +80,7 @@ def group_by_workload(
 
 def _evaluate_group(
     config: ExperimentConfig,
-    cache_root: str | None,
+    cache_config: "CacheConfig | str | None",
     specs: tuple[CellSpec, ...],
     observed: bool,
     fidelity: bool = False,
@@ -87,10 +88,18 @@ def _evaluate_group(
 ) -> tuple[list[CellResult], dict[str, float], list]:
     """Worker entry point: evaluate one workload's cells.
 
-    Top-level (picklable) by construction.  When the parent run is
-    observed, installs a private collector (so worker counters never race
-    the parent's) and returns its counter snapshot and span records for
-    merging; otherwise collection stays disabled in the worker too.
+    Top-level (picklable) by construction.  ``cache_config`` is the
+    parent cache's :class:`~repro.core.cache.CacheConfig` (a bare root
+    string is still accepted for compatibility), so workers rebuild the
+    same tier stack — budgets, hot tier, remote and all.  The group's
+    trace/reference entries stay pinned for the whole dispatch: under a
+    byte budget, the shared artifacts every cell re-reads must not be
+    LRU-evicted mid-group.
+
+    When the parent run is observed, installs a private collector (so
+    worker counters never race the parent's) and returns its counter
+    snapshot and span records for merging; otherwise collection stays
+    disabled in the worker too.
 
     With ``fidelity`` the value slot of each result is the
     ``(AccuracyStats | None, FidelityStats | None)`` pair described by
@@ -99,20 +108,23 @@ def _evaluate_group(
     collector = Collector() if observed else None
     previous = install(collector) if observed else None
     try:
-        cache = ArtifactCache(cache_root) if cache_root else None
+        cache = resolve_cache(cache_config)
         harness = Harness(config, cache=cache)
         results: list[CellResult] = []
-        for spec in specs:
-            started = time.perf_counter()
-            value = harness.evaluate_cell(spec)
-            if fidelity:
-                fid = None
-                if value is not None:
-                    fid = harness.evaluate_cell_fidelity(
-                        spec, top_n=fidelity_top_n
-                    )
-                value = (value, fid)
-            results.append((spec, value, time.perf_counter() - started))
+        workload = specs[0].workload if specs else None
+        with (harness.pinned_workload(workload) if workload is not None
+                else contextlib.nullcontext()):
+            for spec in specs:
+                started = time.perf_counter()
+                value = harness.evaluate_cell(spec)
+                if fidelity:
+                    fid = None
+                    if value is not None:
+                        fid = harness.evaluate_cell_fidelity(
+                            spec, top_n=fidelity_top_n
+                        )
+                    value = (value, fid)
+                results.append((spec, value, time.perf_counter() - started))
         if collector is None:
             return results, {}, []
         return results, collector.metrics.counters(), collector.spans
@@ -173,14 +185,14 @@ def evaluate_cells(
         return results
 
     groups = group_by_workload(specs)
-    cache_root = str(cache.root) if cache is not None else None
+    cache_config = cache.describe() if cache is not None else None
     observed = enabled()
     count("parallel.cells_dispatched", total)
     with span("parallel", jobs=jobs, groups=len(groups), cells=total):
         workers = min(jobs, max(len(groups), 1))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_evaluate_group, config, cache_root, group,
+                pool.submit(_evaluate_group, config, cache_config, group,
                             observed, fidelity, fidelity_top_n)
                 for _, group in groups
             ]

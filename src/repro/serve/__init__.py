@@ -14,13 +14,15 @@ pipeline behind a small, versioned HTTP API (stdlib only — no framework):
   :mod:`repro.obs` counters in Prometheus text format,
 * ``GET/PUT /v1/cache/<kind>/<digest>`` — cache federation: raw
   content-addressed artifact bytes (SHA-256-checksummed in transit) so a
-  fleet of daemons shares one logical artifact store through
-  :class:`~repro.core.cache.RemoteCache` (DESIGN.md §10).
+  fleet of daemons shares one logical artifact store through a
+  :class:`~repro.core.cache.RemoteTier` (DESIGN.md §10).
 
 Internally: a bounded job queue with backpressure (full → HTTP 429 +
 ``Retry-After``), a worker-thread pool sharing one persistent
 :class:`~repro.core.cache.ArtifactCache` (hot cells are served from cache
-with zero re-simulation), per-request deadlines with cooperative abort,
+with zero re-simulation; a hub node can bound its footprint with
+``--cache-max-bytes``/``--cache-hot-entries``, DESIGN.md §12),
+per-request deadlines with cooperative abort,
 request IDs threaded into tracing spans, and SIGTERM graceful drain (stop
 accepting, finish in-flight jobs, flush metrics).  Start it with
 ``repro-pmu serve`` or programmatically via :class:`ProfilingServer`.

@@ -159,13 +159,21 @@ class _Handler(BaseHTTPRequestHandler):
                                            "(want /v1/cache/<kind>/<digest>)"})
             return
         cache = self.app.config.cache
-        data = None if cache is None else cache.read_entry(*address)
-        if data is None:
+        if cache is None:
             self._send_json(404, {"error": "no such cache entry"})
             return
-        count("serve.cache_entries_served")
-        self._send_bytes(200, data, content_type="application/octet-stream",
-                         extra_headers={CHECKSUM_HEADER: body_sha256(data)})
+        # Pin across read *and* send: under a byte budget, the LRU sweep
+        # must never delete an entry while it is being streamed out.
+        with cache.pin_entry(*address):
+            data = cache.read_entry(*address)
+            if data is None:
+                self._send_json(404, {"error": "no such cache entry"})
+                return
+            count("serve.cache_entries_served")
+            self._send_bytes(200, data,
+                             content_type="application/octet-stream",
+                             extra_headers={CHECKSUM_HEADER:
+                                            body_sha256(data)})
 
     def do_PUT(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         count("serve.requests")
@@ -398,4 +406,8 @@ class ProfilingServer:
         # (at zero) even before the first job and never go stale.
         collector.metrics.gauge("serve.queue_depth", self.queue.pending())
         collector.metrics.gauge("serve.jobs_inflight", self.queue.inflight())
+        # Same for the cache tiers: cache.<tier>.{bytes,entries} track the
+        # store's current occupancy, not the last mutation.
+        if self.config.cache is not None:
+            self.config.cache.refresh_gauges()
         return render_prometheus(collector.metrics)

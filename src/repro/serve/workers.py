@@ -5,7 +5,13 @@ request's own config but sharing the server's one persistent
 :class:`~repro.core.cache.ArtifactCache`, so repeated requests for the
 same cell are answered from cache with zero re-simulation (the
 ``cache.hits`` / ``harness.cells_evaluated`` counters on ``/metrics``
-make that visible).  Table jobs go through the same
+make that visible).  When the daemon runs with a memory hot tier
+(``--cache-hot-entries``, DESIGN.md §12), the working set's traces and
+stats are decoded from their npz/JSON bytes once and the decoded objects
+are shared read-only across all worker threads; a disk byte budget
+(``--cache-max-bytes``) bounds the daemon's footprint, with in-flight
+cells pinned so LRU eviction never races an evaluation.  Table jobs go
+through the same
 :func:`repro.core.tables.build_table1`/``2`` path as the CLI — including
 :mod:`repro.core.parallel` when the server is configured with
 ``table_jobs > 1`` — so served tables match CLI tables byte for byte.

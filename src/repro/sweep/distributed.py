@@ -26,6 +26,16 @@ byte-identical to local ones (PR 4's ``EvaluateRequest`` seam), and every
 report is a pure function of the journal replayed in expansion order —
 so the *completion* order across the fleet never shows downstream.
 
+Artifact traffic rides the cache federation seam: workers run with a
+:class:`~repro.core.cache.RemoteTier` at the bottom of their cache stack
+(``--remote-cache``, previously spelled ``RemoteCache``), read-through
+against a hub daemon's ``/v1/cache`` routes.  The hub absorbs the whole
+fleet's artifacts, so it is exactly the node that wants a bounded store:
+give it ``--cache-max-bytes`` (disk LRU budget) and
+``--cache-hot-entries`` (decoded hot tier) — eviction on the hub is
+correctness-invisible to the fleet, a re-fetch of an evicted entry is
+just a remote miss that falls back to recomputation (DESIGN.md §12).
+
 Observability: ``dist.cells_dispatched`` / ``dist.cells_retried`` /
 ``dist.cells_requeued`` / ``dist.workers_quarantined`` counters, plus
 per-worker ``dist.worker<i>_inflight`` gauges.  The per-worker tallies

@@ -219,6 +219,55 @@ def test_cache_stats_json(tmp_path, capsys):
     assert stats["total_bytes"] > 0
     assert set(stats["by_kind"]) >= {"stats"}
     assert sum(stats["by_kind"].values()) == stats["entries"]
+    # Versioned document with a per-tier breakdown (additive fields).
+    assert stats["schema_version"] == 1
+    assert [tier["tier"] for tier in stats["tiers"]] == ["disk"]
+    assert stats["tiers"][0]["bytes"] >= 0
+
+
+def test_cache_budget_flags_are_invisible_to_results(tmp_path, capsys):
+    """--cache-max-bytes small enough to evict continuously still renders
+    the same table, and `cache trim` enforces a budget offline."""
+    base = ["table1", "--scale", "0.01", "--repeats", "1", "-q"]
+    assert main(base) == 0
+    reference = capsys.readouterr().out
+
+    store = tmp_path / "budgeted"
+    assert main(base + ["--cache-dir", str(store),
+                        "--cache-max-bytes", "512",
+                        "--cache-hot-entries", "2"]) == 0
+    assert capsys.readouterr().out == reference
+
+    # Offline trim: tighten the budget further and evict.
+    assert main(["cache", "stats", "--json", "--cache-dir", str(store)]) == 0
+    before = json.loads(capsys.readouterr().out)
+    assert main(["cache", "trim", "--cache-dir", str(store),
+                 "--max-bytes", "1"]) == 0
+    assert "evicted" in capsys.readouterr().out
+    assert main(["cache", "stats", "--json", "--cache-dir", str(store)]) == 0
+    after = json.loads(capsys.readouterr().out)
+    assert after["entries"] < before["entries"]
+
+
+def test_cache_max_bytes_accepts_size_suffixes():
+    from repro.core.cli import _parse_size
+
+    assert _parse_size("4096") == 4096
+    assert _parse_size("64k") == 64 * 1024
+    assert _parse_size("16M") == 16 * 1024 ** 2
+    assert _parse_size("1g") == 1024 ** 3
+    import argparse
+
+    import pytest
+
+    with pytest.raises(argparse.ArgumentTypeError):
+        _parse_size("huge")
+    with pytest.raises(argparse.ArgumentTypeError):
+        _parse_size("-4")
+
+
+def test_trim_without_budget_is_a_usage_error(tmp_path):
+    assert main(["cache", "trim", "--cache-dir", str(tmp_path)]) == 2
 
 
 def _write_sweep_spec(tmp_path):
